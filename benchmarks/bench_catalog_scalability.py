@@ -1,0 +1,91 @@
+"""EXP-SCALE — the distributed catalog scales with the number of peers (§1, §3).
+
+Sweeps the peer population and reports, per size: registration messages
+needed to wire the catalog, the largest per-peer catalog footprint (no peer
+holds a global catalog), resolution hops per query, messages per query, and
+recall.  The paper's scalability argument is that none of these grow like
+the all-to-all or central-index alternatives — the per-peer catalog stays
+bounded by the peer's interest area, and queries walk a short meta-index →
+index → base chain.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import build_mqp_scenario, format_table, run_mqp_queries
+from repro.workloads import GarageSaleConfig, GarageSaleWorkload, QueryWorkload
+from conftest import emit
+
+
+def _measure(sellers: int, queries_per_run: int = 4):
+    workload = GarageSaleWorkload(
+        GarageSaleConfig(sellers=sellers, mean_items_per_seller=6, seed=41)
+    )
+    scenario = build_mqp_scenario(workload, online_registration=True)
+    registration_messages = scenario.network.metrics.messages_by_kind.get("register", 0)
+    queries = QueryWorkload(workload.namespace, seed=43).batch(queries_per_run)
+    summary = run_mqp_queries(scenario, queries)
+    catalog_sizes = [peer.catalog.size() for peer in scenario.peers]
+    hops = [
+        trace.distinct_peers
+        for trace in scenario.network.metrics.traces.values()
+        if trace.completed_at is not None
+    ]
+    return {
+        "peers": len(scenario.peers),
+        "registration_msgs": registration_messages,
+        "max_catalog_size": max(catalog_sizes),
+        "mean_catalog_size": sum(catalog_sizes) / len(catalog_sizes),
+        "mean_peers_per_query": summary["mean_peers_per_query"],
+        "mean_messages_per_query": summary["mean_messages_per_query"],
+        "mean_recall": summary["mean_recall"],
+        "resolution_hops": (sum(hops) / len(hops)) if hops else 0.0,
+    }
+
+
+def test_catalog_scalability_sweep(benchmark):
+    sizes = [8, 16, 32, 64]
+    rows = [_measure(size) for size in sizes[:-1]]
+
+    def largest():
+        return _measure(sizes[-1])
+
+    rows.append(benchmark.pedantic(largest, rounds=1, iterations=1))
+    emit("EXP-SCALE  Peer-count sweep", format_table(rows))
+
+    # Registration traffic grows linearly (one registration per server),
+    # not quadratically like all-to-all coordination would.
+    assert rows[-1]["registration_msgs"] <= rows[-1]["peers"] * 2
+    # No peer's catalog approaches global size.
+    assert rows[-1]["max_catalog_size"] < rows[-1]["peers"]
+    # Query cost stays bounded (a short resolution chain), independent of scale.
+    assert rows[-1]["mean_peers_per_query"] <= rows[0]["mean_peers_per_query"] * 3
+    assert all(row["mean_recall"] == pytest.approx(1.0) for row in rows)
+
+
+def test_per_peer_catalog_stays_local(benchmark):
+    workload = GarageSaleWorkload(GarageSaleConfig(sellers=40, mean_items_per_seller=4, seed=47))
+
+    def build():
+        scenario = build_mqp_scenario(workload)
+        return scenario
+
+    scenario = benchmark.pedantic(build, rounds=1, iterations=1)
+    base_catalogs = [peer.catalog.size() for peer in scenario.base_servers]
+    index_catalogs = [peer.catalog.size() for peer in scenario.index_servers]
+    meta_catalog = scenario.meta_index.catalog.size()
+    emit(
+        "EXP-SCALE  Catalog footprint by role (40 sellers)",
+        format_table(
+            [
+                {"role": "base server (max)", "catalog_entries": max(base_catalogs)},
+                {"role": "index server (max)", "catalog_entries": max(index_catalogs)},
+                {"role": "meta-index", "catalog_entries": meta_catalog},
+            ]
+        ),
+    )
+    # Base servers know only themselves plus their indexer; index servers know
+    # the servers of their own state; only the meta-index sees every indexer.
+    assert max(base_catalogs) <= 3
+    assert max(index_catalogs) <= len(workload.sellers) + 2

@@ -1,0 +1,82 @@
+"""EXP-ROUTING — catalog routing versus central index, broadcast, and routing indices.
+
+The measurable version of the paper's §1/§3 claims: "centralized index
+servers don't scale with the number of clients; query broadcasting wastes
+network bandwidth and hurts result quality".  The same garage-sale query
+batch is run under all four strategies; the table reports messages, bytes,
+peers contacted, latency and recall, and a second series sweeps the
+Gnutella horizon to show the bandwidth/recall tradeoff broadcast faces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (
+    build_gnutella_scenario,
+    build_mqp_scenario,
+    compare_routing_strategies,
+    format_table,
+    run_gnutella_queries,
+    run_mqp_queries,
+)
+from repro.workloads import QueryWorkload
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def queries(garage_sale_small):
+    return QueryWorkload(garage_sale_small.namespace, seed=23).batch(5)
+
+
+def test_strategy_comparison_table(benchmark, garage_sale_small, queries):
+    def run_mqp_only():
+        scenario = build_mqp_scenario(garage_sale_small)
+        return run_mqp_queries(scenario, queries)
+
+    mqp_summary = benchmark.pedantic(run_mqp_only, rounds=1, iterations=1)
+    rows = compare_routing_strategies(garage_sale_small, queries, gnutella_horizon=3)
+    emit(
+        "EXP-ROUTING  Strategy comparison (same query batch)",
+        format_table(
+            rows,
+            [
+                "strategy",
+                "messages",
+                "bytes",
+                "mean_messages_per_query",
+                "mean_peers_per_query",
+                "mean_latency_ms",
+                "mean_recall",
+            ],
+        ),
+    )
+    by_strategy = {row["strategy"]: row for row in rows}
+    assert by_strategy["mqp-catalog"]["messages"] < by_strategy["gnutella(h=3)"]["messages"]
+    assert by_strategy["mqp-catalog"]["mean_recall"] == pytest.approx(1.0)
+    assert mqp_summary["mean_recall"] == pytest.approx(1.0)
+
+
+def test_gnutella_horizon_sweep(benchmark, garage_sale_small, queries):
+    """Broadcast's tradeoff: recall needs a large horizon, messages explode with it."""
+    rows = []
+    for horizon in (1, 2, 3, 5):
+        scenario = build_gnutella_scenario(garage_sale_small, degree=4)
+        summary = run_gnutella_queries(scenario, queries, horizon=horizon)
+        rows.append(
+            {
+                "horizon": horizon,
+                "messages": summary["messages"],
+                "mean_recall": summary["mean_recall"],
+                "mean_peers": summary["mean_peers_per_query"],
+            }
+        )
+
+    def rerun_middle_horizon():
+        scenario = build_gnutella_scenario(garage_sale_small, degree=4)
+        return run_gnutella_queries(scenario, queries, horizon=3)
+
+    benchmark.pedantic(rerun_middle_horizon, rounds=1, iterations=1)
+    emit("EXP-ROUTING  Gnutella horizon sweep", format_table(rows))
+    assert rows[0]["messages"] < rows[-1]["messages"]
+    assert rows[0]["mean_recall"] <= rows[-1]["mean_recall"] + 1e-9

@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark prints the table or series it reproduces (the measurable
+version of one of the paper's figures or qualitative claims) and uses
+``pytest-benchmark`` to time the core operation involved.  Workload sizes
+are kept small enough that the whole suite runs in a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduced table/series under a recognizable banner."""
+    print(f"\n=== {title} ===\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def garage_sale_small():
+    """A small, deterministic garage-sale population shared across benches."""
+    from repro.workloads import GarageSaleConfig, GarageSaleWorkload
+
+    return GarageSaleWorkload(GarageSaleConfig(sellers=16, mean_items_per_seller=8, seed=11))

@@ -1,0 +1,91 @@
+"""A larger garage-sale marketplace: strategy comparison and QoS tradeoffs.
+
+Run with::
+
+    python examples/garage_sale_marketplace.py
+
+Generates a synthetic marketplace (sellers with Zipf-skewed city and
+category specialties), runs the same query batch under catalog-routed
+mutant query plans, Gnutella-style broadcast, a Napster-style central
+index, and routing indices, and prints the comparison table.  It then shows
+the §4.3 completeness/currency/latency tradeoff for a replicated deployment
+under different time budgets.
+"""
+
+from __future__ import annotations
+
+from repro.catalog import (
+    Binder,
+    Catalog,
+    CollectionRef,
+    IntensionalStatement,
+    ServerEntry,
+    ServerRole,
+)
+from repro.harness import compare_routing_strategies, format_table
+from repro.mqp import QueryPreferences
+from repro.qos import TradeoffPlanner
+from repro.workloads import GarageSaleConfig, GarageSaleWorkload, QueryWorkload
+
+
+def strategy_comparison() -> None:
+    workload = GarageSaleWorkload(GarageSaleConfig(sellers=20, mean_items_per_seller=8, seed=7))
+    queries = QueryWorkload(workload.namespace, seed=19).batch(5)
+    print(f"Marketplace: {len(workload.sellers)} sellers, {len(workload.all_items())} items, 5 queries\n")
+    rows = compare_routing_strategies(workload, queries, gnutella_horizon=3)
+    print(
+        format_table(
+            rows,
+            ["strategy", "messages", "bytes", "mean_peers_per_query", "mean_latency_ms", "mean_recall"],
+            title="Routing strategy comparison",
+        )
+    )
+
+
+def qos_tradeoffs() -> None:
+    workload = GarageSaleWorkload(GarageSaleConfig(sellers=4, seed=7))
+    namespace = workload.namespace
+    portland = namespace.area(["USA/OR/Portland", "*"])
+    catalog = Catalog("client")
+    for address in ("archive:9020", "mirror-a:9020", "mirror-b:9020"):
+        catalog.register_server(
+            ServerEntry(address, ServerRole.BASE, portland, collections=[CollectionRef(address, "/items")])
+        )
+    catalog.register_statement(
+        IntensionalStatement.parse(
+            "base[(USA.OR.Portland,*)]@archive:9020 >= base[(USA.OR.Portland,*)]@mirror-a:9020{30}"
+        )
+    )
+    catalog.register_statement(
+        IntensionalStatement.parse(
+            "base[(USA.OR.Portland,*)]@archive:9020 >= base[(USA.OR.Portland,*)]@mirror-b:9020{30}"
+        )
+    )
+    binding = Binder(catalog).bind_area(namespace.area(["USA/OR/Portland", "Music/CDs"]))
+    planner = TradeoffPlanner(per_server_latency_ms=60, base_latency_ms=40)
+
+    rows = []
+    for budget in (120, 250, None):
+        for prefer in ("complete", "current", "fast"):
+            option = planner.choose(binding, QueryPreferences(target_time_ms=budget, prefer=prefer))
+            rows.append(
+                {
+                    "budget_ms": budget if budget is not None else "unbounded",
+                    "prefer": prefer,
+                    "servers": option.alternative.server_count,
+                    "latency_ms": option.predicted_latency_ms,
+                    "staleness_min": option.staleness_minutes,
+                    "completeness": option.completeness,
+                }
+            )
+    print()
+    print(format_table(rows, title="Completeness / currency / latency tradeoffs (section 4.3)"))
+
+
+def main() -> None:
+    strategy_comparison()
+    qos_tradeoffs()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Quickstart: a five-peer P2P garage sale answering one mutant query plan.
+
+Run with::
+
+    python examples/quickstart.py
+
+It builds two Portland CD sellers, an Oregon index server, a global
+meta-index server and a client on the simulated network, registers
+everyone into the distributed catalog, and then issues the query
+"CDs under $10 in Portland" as a mutant query plan.  The output shows the
+route the plan took (meta-index -> index -> sellers), the provenance-style
+trace, and the answer.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import PlanBuilder
+from repro.mqp import QueryPreferences
+from repro.namespace import InterestAreaURN, garage_sale_namespace
+from repro.network import Network
+from repro.peers import (
+    BaseServer,
+    ClientPeer,
+    IndexServer,
+    MetaIndexServer,
+    register_offline,
+    seed_with_meta_index,
+)
+from repro.xmlmodel import element, text_element
+
+
+def cd(title: str, price: float) -> "element":
+    return element(
+        "item",
+        {},
+        text_element("title", title),
+        text_element("price", price),
+        text_element("city", "USA/OR/Portland"),
+        text_element("category", "Music/CDs"),
+    )
+
+
+def main() -> None:
+    namespace = garage_sale_namespace()
+    network = Network()
+
+    portland_cds = namespace.area(["USA/OR/Portland", "Music/CDs"])
+    seller1 = BaseServer("seller1:9020", namespace, portland_cds)
+    seller2 = BaseServer("seller2:9020", namespace, portland_cds)
+    index_oregon = IndexServer("index-or:9020", namespace, namespace.area(["USA/OR", "*"]))
+    meta_index = MetaIndexServer("meta-index:9020", namespace)
+    client = ClientPeer("client:9020", namespace)
+    for peer in (seller1, seller2, index_oregon, meta_index, client):
+        network.register(peer)
+
+    seller1.publish_collection("cds", [cd("Abbey Road", 8), cd("Kind of Blue", 12)])
+    seller2.publish_collection("cds", [cd("Blue Train", 6), cd("Giant Steps", 14)])
+
+    # Wire the distributed catalog (base -> index -> meta-index) and give the
+    # client its out-of-band knowledge of the top-level meta-index server.
+    register_offline([seller1, seller2, index_oregon, meta_index, client])
+    seed_with_meta_index([client], [meta_index])
+
+    # The query: an interest-area URN plus a price selection, as in Figure 3.
+    urn = str(InterestAreaURN.for_area(portland_cds))
+    plan = PlanBuilder.urn(urn).select("price < 10").display(client.address)
+    print("Query plan:")
+    print(plan.explain())
+
+    mqp = client.issue_query(plan, QueryPreferences(), expected_answers=2)
+    network.run_until_idle()
+
+    trace = network.metrics.trace(mqp.query_id)
+    result = client.result_for(mqp.query_id)
+    print("\nRoute taken:", " -> ".join(trace.visited))
+    print(f"Messages: {trace.messages}   bytes: {trace.bytes}   latency: {trace.latency_ms:.1f} simulated ms")
+    print("\nAnswer:")
+    for item in result.items:
+        print(f"  {item.child_text('title')}  ${item.child_text('price')}")
+
+
+if __name__ == "__main__":
+    main()

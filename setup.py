@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools predates full PEP 660 support (no ``wheel``
+package available).
+"""
+
+from setuptools import setup
+
+setup()

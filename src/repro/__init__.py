@@ -1,0 +1,60 @@
+"""Reproduction of *Distributed Query Processing and Catalogs for Peer-to-Peer
+Systems* (Papadimos, Maier, Tufte — CIDR 2003).
+
+The package implements the paper's two core ideas and every substrate they
+need:
+
+* **Mutant query plans** (:mod:`repro.mqp`, :mod:`repro.algebra`,
+  :mod:`repro.engine`, :mod:`repro.optimizer`) — XML-serialized algebraic
+  plans that travel between peers, being resolved, reduced and re-optimized
+  at every hop with purely local knowledge.
+* **Multi-hierarchic namespaces and distributed catalogs**
+  (:mod:`repro.namespace`, :mod:`repro.catalog`, :mod:`repro.peers`) —
+  interest areas describe served data, drive query routing, and, through
+  intensional statements, let peers reason about completeness, currency and
+  latency tradeoffs (:mod:`repro.qos`).
+
+Everything runs on a deterministic discrete-event network simulator
+(:mod:`repro.network`); baselines (:mod:`repro.routing`,
+:mod:`repro.distributed`), synthetic workloads (:mod:`repro.workloads`) and
+an experiment harness (:mod:`repro.harness`) support the benchmark suite.
+"""
+
+from . import (
+    algebra,
+    catalog,
+    distributed,
+    engine,
+    harness,
+    mqp,
+    namespace,
+    network,
+    optimizer,
+    peers,
+    qos,
+    routing,
+    workloads,
+    xmlmodel,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "xmlmodel",
+    "namespace",
+    "algebra",
+    "engine",
+    "optimizer",
+    "catalog",
+    "mqp",
+    "network",
+    "peers",
+    "routing",
+    "distributed",
+    "qos",
+    "workloads",
+    "harness",
+]

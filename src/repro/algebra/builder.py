@@ -1,0 +1,142 @@
+"""Fluent construction API for query plans.
+
+The builder makes the examples and tests read close to the paper's figures::
+
+    plan = (
+        PlanBuilder.urn("urn:ForSale:Portland-CDs")
+        .select("price < 10")
+        .join(PlanBuilder.urn("urn:CD:TrackListings"), on=("//title", "//CD/title"))
+        .join(PlanBuilder.data(favorite_songs), on=("//song", "//song"))
+        .display("129.95.50.105:9020")
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..xmlmodel import XMLElement
+from .expressions import Expression, parse_predicate
+from .operators import (
+    Aggregate,
+    ConjointOr,
+    Difference,
+    Display,
+    Join,
+    OrderBy,
+    PlanNode,
+    Project,
+    Select,
+    TopN,
+    Union,
+    URLRef,
+    URNRef,
+    VerbatimData,
+)
+from .plan import QueryPlan
+
+__all__ = ["PlanBuilder"]
+
+
+class PlanBuilder:
+    """Wraps a plan node and offers chainable operator constructors."""
+
+    def __init__(self, node: PlanNode) -> None:
+        self.node = node
+
+    # -- leaf constructors ------------------------------------------------- #
+
+    @classmethod
+    def urn(cls, urn: str) -> "PlanBuilder":
+        """Start a plan from an abstract resource name."""
+        return cls(URNRef(urn))
+
+    @classmethod
+    def url(cls, url: str, path: str | None = None) -> "PlanBuilder":
+        """Start a plan from a concrete resource location."""
+        return cls(URLRef(url, path))
+
+    @classmethod
+    def data(cls, items: Sequence[XMLElement] | XMLElement, name: str | None = None) -> "PlanBuilder":
+        """Start a plan from verbatim XML data (a collection or a list of items)."""
+        if isinstance(items, XMLElement):
+            return cls(VerbatimData(items, name))
+        return cls(VerbatimData.from_items(list(items), name))
+
+    @classmethod
+    def wrap(cls, node: "PlanBuilder | PlanNode") -> PlanNode:
+        """Accept either a builder or a bare node."""
+        return node.node if isinstance(node, PlanBuilder) else node
+
+    # -- unary operators ----------------------------------------------------- #
+
+    def select(self, predicate: Expression | str) -> "PlanBuilder":
+        """Filter by a predicate expression (textual form accepted)."""
+        expr = parse_predicate(predicate) if isinstance(predicate, str) else predicate
+        return PlanBuilder(Select(self.node, expr))
+
+    def project(self, columns: Sequence[tuple[str, str]], item_tag: str = "item") -> "PlanBuilder":
+        """Keep only the listed ``(path, output_tag)`` fields."""
+        return PlanBuilder(Project(self.node, columns, item_tag))
+
+    def aggregate(
+        self,
+        function: str,
+        value_path: str | None = None,
+        group_path: str | None = None,
+        output_tag: str = "aggregate",
+    ) -> "PlanBuilder":
+        """Aggregate (optionally grouped) over a value path."""
+        return PlanBuilder(Aggregate(self.node, function, value_path, group_path, output_tag))
+
+    def count(self) -> "PlanBuilder":
+        """Shorthand for an ungrouped count aggregate (verification queries, §5.1)."""
+        return self.aggregate("count")
+
+    def order_by(self, path: str, descending: bool = False) -> "PlanBuilder":
+        """Sort by the value at ``path``."""
+        return PlanBuilder(OrderBy(self.node, path, descending))
+
+    def top_n(self, limit: int, path: str, descending: bool = True) -> "PlanBuilder":
+        """Keep the best ``limit`` items ordered by ``path``."""
+        return PlanBuilder(TopN(self.node, limit, path, descending))
+
+    # -- binary / n-ary operators --------------------------------------------- #
+
+    def join(
+        self,
+        other: "PlanBuilder | PlanNode",
+        on: tuple[str, str],
+        join_type: str = "inner",
+        output_tag: str = "tuple",
+    ) -> "PlanBuilder":
+        """Equality-join with another plan on ``(left_path, right_path)``."""
+        return PlanBuilder(
+            Join(self.node, self.wrap(other), on[0], on[1], join_type, output_tag)
+        )
+
+    def union(self, *others: "PlanBuilder | PlanNode") -> "PlanBuilder":
+        """Bag union with one or more other plans."""
+        return PlanBuilder(Union([self.node, *(self.wrap(other) for other in others)]))
+
+    def conjoint_or(self, *others: "PlanBuilder | PlanNode") -> "PlanBuilder":
+        """Conjoint union (§4.2): any one branch suffices."""
+        return PlanBuilder(ConjointOr([self.node, *(self.wrap(other) for other in others)]))
+
+    def difference(self, other: "PlanBuilder | PlanNode", key_path: str | None = None) -> "PlanBuilder":
+        """Set difference with another plan."""
+        return PlanBuilder(Difference(self.node, self.wrap(other), key_path))
+
+    # -- finishing -------------------------------------------------------------- #
+
+    def display(self, target: str) -> QueryPlan:
+        """Attach the Display pseudo-operator and return the finished plan."""
+        return QueryPlan(Display(self.node, target))
+
+    def plan(self) -> QueryPlan:
+        """Return the plan without a Display root (detached sub-plan)."""
+        return QueryPlan(self.node)
+
+    def build(self) -> PlanNode:
+        """Return the bare root node."""
+        return self.node

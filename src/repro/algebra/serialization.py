@@ -1,0 +1,242 @@
+"""XML wire format for query plans (the MQP encoding, paper §2).
+
+Plans travel between peers serialized as XML.  Every operator becomes an
+element named after the operator, with its parameters as attributes, its
+input sub-plans as child elements, and any accumulated annotations inside a
+reserved ``<annotations>`` child.  Verbatim data is embedded under a
+reserved ``<collection>`` child so that arbitrary XML payloads never clash
+with the operator vocabulary.
+
+``plan_to_xml``/``plan_from_xml`` convert between :class:`QueryPlan` and
+:class:`XMLElement`; ``serialize_plan``/``parse_plan`` go all the way to
+strings, which is what the network layer ships around.
+"""
+
+from __future__ import annotations
+
+from ..errors import PlanSerializationError
+from ..xmlmodel import XMLElement, parse_xml, serialize_xml
+from .expressions import parse_predicate
+from .operators import (
+    Aggregate,
+    ConjointOr,
+    Difference,
+    Display,
+    Join,
+    OrderBy,
+    PlanNode,
+    Project,
+    Select,
+    TopN,
+    Union,
+    URLRef,
+    URNRef,
+    VerbatimData,
+)
+from .plan import QueryPlan
+
+__all__ = ["plan_to_xml", "plan_from_xml", "serialize_plan", "parse_plan", "plan_wire_size"]
+
+_RESERVED_TAGS = {"annotations", "column", "collection"}
+
+
+# --------------------------------------------------------------------------- #
+# Serialization
+# --------------------------------------------------------------------------- #
+
+
+def _annotations_element(node: PlanNode) -> XMLElement | None:
+    if not node.annotations:
+        return None
+    children = [
+        XMLElement("annotation", {"key": key, "value": value})
+        for key, value in sorted(node.annotations.items())
+    ]
+    return XMLElement("annotations", {}, children)
+
+
+def _node_to_xml(node: PlanNode) -> XMLElement:
+    attributes: dict[str, object] = {}
+    extra_children: list[XMLElement] = []
+
+    if isinstance(node, VerbatimData):
+        if node.name:
+            attributes["name"] = node.name
+        extra_children.append(XMLElement("collection", {}, [node.collection.copy()]))
+    elif isinstance(node, URLRef):
+        attributes["href"] = node.url
+        if node.path:
+            attributes["path"] = node.path
+    elif isinstance(node, URNRef):
+        attributes["name"] = node.urn
+    elif isinstance(node, Select):
+        attributes["predicate"] = node.predicate.to_text()
+    elif isinstance(node, Project):
+        attributes["item-tag"] = node.item_tag
+        extra_children.extend(
+            XMLElement("column", {"path": path, "tag": tag}) for path, tag in node.columns
+        )
+    elif isinstance(node, Join):
+        attributes.update(
+            {
+                "left-path": node.left_path,
+                "right-path": node.right_path,
+                "type": node.join_type,
+                "output-tag": node.output_tag,
+            }
+        )
+    elif isinstance(node, Difference):
+        if node.key_path:
+            attributes["key-path"] = node.key_path
+    elif isinstance(node, Aggregate):
+        attributes["function"] = node.function
+        if node.value_path:
+            attributes["value-path"] = node.value_path
+        if node.group_path:
+            attributes["group-path"] = node.group_path
+        attributes["output-tag"] = node.output_tag
+    elif isinstance(node, OrderBy):
+        attributes["path"] = node.path
+        attributes["descending"] = str(node.descending).lower()
+    elif isinstance(node, TopN):
+        attributes["limit"] = node.limit
+        attributes["path"] = node.path
+        attributes["descending"] = str(node.descending).lower()
+    elif isinstance(node, Display):
+        attributes["target"] = node.target
+    elif isinstance(node, (Union, ConjointOr)):
+        pass
+    else:
+        raise PlanSerializationError(f"cannot serialize plan node {type(node).__name__}")
+
+    annotation_element = _annotations_element(node)
+    if annotation_element is not None:
+        extra_children.append(annotation_element)
+
+    children = extra_children + [_node_to_xml(child) for child in node.children]
+    return XMLElement(node.operator, attributes, children)
+
+
+def plan_to_xml(plan: QueryPlan) -> XMLElement:
+    """Serialize a plan to its XML element form, wrapped in ``<mqp>``."""
+    return XMLElement("mqp", {}, [_node_to_xml(plan.root)])
+
+
+def serialize_plan(plan: QueryPlan, indent: int | None = None) -> str:
+    """Serialize a plan to the XML string shipped between peers."""
+    return serialize_xml(plan_to_xml(plan), indent=indent)
+
+
+def plan_wire_size(plan: QueryPlan) -> int:
+    """Size in bytes of the plan's wire encoding (partial results included)."""
+    return len(serialize_plan(plan).encode("utf-8"))
+
+
+# --------------------------------------------------------------------------- #
+# Parsing
+# --------------------------------------------------------------------------- #
+
+
+def _require(element: XMLElement, attribute: str) -> str:
+    value = element.get(attribute)
+    if value is None:
+        raise PlanSerializationError(
+            f"<{element.tag}> is missing required attribute {attribute!r}"
+        )
+    return value
+
+
+def _operator_children(element: XMLElement) -> list[XMLElement]:
+    return [child for child in element.children if child.tag not in _RESERVED_TAGS]
+
+
+def _node_from_xml(element: XMLElement) -> PlanNode:
+    children = [_node_from_xml(child) for child in _operator_children(element)]
+    tag = element.tag
+
+    node: PlanNode
+    if tag == "data":
+        collection_wrapper = element.find("collection")
+        if collection_wrapper is None or not collection_wrapper.children:
+            raise PlanSerializationError("<data> node has no embedded collection")
+        node = VerbatimData(collection_wrapper.children[0].copy(), element.get("name"))
+    elif tag == "url":
+        node = URLRef(_require(element, "href"), element.get("path"))
+    elif tag == "urn":
+        node = URNRef(_require(element, "name"))
+    elif tag == "select":
+        node = Select(_single(children, tag), parse_predicate(_require(element, "predicate")))
+    elif tag == "project":
+        columns = [
+            (_require(column, "path"), _require(column, "tag"))
+            for column in element.find_all("column")
+        ]
+        node = Project(_single(children, tag), columns, element.get("item-tag", "item"))
+    elif tag == "join":
+        if len(children) != 2:
+            raise PlanSerializationError("<join> needs exactly two inputs")
+        node = Join(
+            children[0],
+            children[1],
+            _require(element, "left-path"),
+            _require(element, "right-path"),
+            element.get("type", "inner"),
+            element.get("output-tag", "tuple"),
+        )
+    elif tag == "union":
+        node = Union(children)
+    elif tag == "or":
+        node = ConjointOr(children)
+    elif tag == "difference":
+        if len(children) != 2:
+            raise PlanSerializationError("<difference> needs exactly two inputs")
+        node = Difference(children[0], children[1], element.get("key-path"))
+    elif tag == "aggregate":
+        node = Aggregate(
+            _single(children, tag),
+            _require(element, "function"),
+            element.get("value-path"),
+            element.get("group-path"),
+            element.get("output-tag", "aggregate"),
+        )
+    elif tag == "orderby":
+        node = OrderBy(
+            _single(children, tag),
+            _require(element, "path"),
+            element.get("descending", "false") == "true",
+        )
+    elif tag == "topn":
+        node = TopN(
+            _single(children, tag),
+            int(_require(element, "limit")),
+            _require(element, "path"),
+            element.get("descending", "true") == "true",
+        )
+    elif tag == "display":
+        node = Display(_single(children, tag), _require(element, "target"))
+    else:
+        raise PlanSerializationError(f"unknown plan operator <{tag}>")
+
+    annotations = element.find("annotations")
+    if annotations is not None:
+        for annotation in annotations.find_all("annotation"):
+            node.annotate(_require(annotation, "key"), _require(annotation, "value"))
+    return node
+
+
+def _single(children: list[PlanNode], tag: str) -> PlanNode:
+    if len(children) != 1:
+        raise PlanSerializationError(f"<{tag}> needs exactly one input, got {len(children)}")
+    return children[0]
+
+
+def plan_from_xml(root: XMLElement) -> QueryPlan:
+    """Parse the ``<mqp>`` element form back into a :class:`QueryPlan`."""
+    if root.tag != "mqp" or len(root.children) != 1:
+        raise PlanSerializationError("expected a single-child <mqp> element")
+    return QueryPlan(_node_from_xml(root.children[0]))
+
+
+def parse_plan(document: str) -> QueryPlan:
+    """Parse the XML string form of a plan."""
+    return plan_from_xml(parse_xml(document))

@@ -1,0 +1,25 @@
+"""Distributed catalogs: entries, intensional statements, binding, routing caches."""
+
+from .binding import Binder, Binding, BindingAlternative, BoundSource
+from .cache import CacheEntry, RoutingCache
+from .catalog import Catalog
+from .entries import CollectionRef, NamedResourceEntry, ServerEntry, ServerRole
+from .intensional import CatalogLevel, IntensionalStatement, Relation, ServerHolding
+
+__all__ = [
+    "Catalog",
+    "ServerRole",
+    "ServerEntry",
+    "CollectionRef",
+    "NamedResourceEntry",
+    "CatalogLevel",
+    "Relation",
+    "ServerHolding",
+    "IntensionalStatement",
+    "Binder",
+    "Binding",
+    "BindingAlternative",
+    "BoundSource",
+    "RoutingCache",
+    "CacheEntry",
+]

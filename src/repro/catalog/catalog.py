@@ -1,0 +1,144 @@
+"""The per-peer catalog (the "Catalog" box of Figure 2).
+
+Every peer maintains a local catalog mapping URNs to URLs (or to servers
+that can resolve them), recording the servers it knows about together with
+their interest areas and roles, and retaining any intensional statements
+those servers announced at registration time.  The catalog never claims
+global knowledge — "mutant query plans ... allow query optimization and
+source discovery to work with whatever information is available locally".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CatalogError
+from ..namespace import InterestArea
+from .entries import CollectionRef, NamedResourceEntry, ServerEntry, ServerRole
+from .intensional import CatalogLevel, IntensionalStatement
+
+__all__ = ["Catalog"]
+
+
+@dataclass
+class Catalog:
+    """Local knowledge about data, servers, and their relationships."""
+
+    owner: str = "local"
+    servers: dict[str, ServerEntry] = field(default_factory=dict)
+    named_resources: dict[str, NamedResourceEntry] = field(default_factory=dict)
+    statements: list[IntensionalStatement] = field(default_factory=list)
+
+    # -- registration -------------------------------------------------------- #
+
+    def register_server(self, entry: ServerEntry) -> None:
+        """Add or update what we know about a server.
+
+        Re-registration replaces the previous entry for the same address and
+        role combination only if the new entry covers at least the old area;
+        otherwise areas are merged, so repeated registrations never lose
+        knowledge.
+        """
+        existing = self.servers.get(entry.address)
+        if existing is None or entry.covers(existing.area):
+            self.servers[entry.address] = entry
+            return
+        merged = ServerEntry(
+            address=entry.address,
+            role=entry.role,
+            area=existing.area.union(entry.area),
+            authoritative=existing.authoritative or entry.authoritative,
+            collections=list({*existing.collections, *entry.collections}),
+            registered_at=entry.registered_at,
+        )
+        self.servers[entry.address] = merged
+
+    def register_named_resource(self, entry: NamedResourceEntry) -> None:
+        """Add resolution data for an application-level URN."""
+        existing = self.named_resources.get(entry.name)
+        if existing is None:
+            self.named_resources[entry.name] = entry
+        else:
+            existing.merge(entry)
+
+    def register_statement(self, statement: IntensionalStatement) -> None:
+        """Retain an intensional statement announced by some server."""
+        if statement not in self.statements:
+            self.statements.append(statement)
+
+    def forget_server(self, address: str) -> None:
+        """Drop a server (e.g. after repeated failures)."""
+        self.servers.pop(address, None)
+
+    # -- lookups --------------------------------------------------------------- #
+
+    def lookup_named(self, name: str) -> NamedResourceEntry | None:
+        """Return resolution data for a named URN, if known."""
+        return self.named_resources.get(name)
+
+    def servers_overlapping(
+        self,
+        area: InterestArea,
+        roles: tuple[ServerRole, ...] | None = None,
+    ) -> list[ServerEntry]:
+        """Servers whose interest area overlaps ``area`` (optionally by role)."""
+        matches = [
+            entry
+            for entry in self.servers.values()
+            if entry.overlaps(area) and (roles is None or entry.role in roles)
+        ]
+        return sorted(matches, key=lambda entry: entry.address)
+
+    def servers_covering(
+        self,
+        area: InterestArea,
+        roles: tuple[ServerRole, ...] | None = None,
+    ) -> list[ServerEntry]:
+        """Servers whose interest area covers all of ``area``."""
+        matches = [
+            entry
+            for entry in self.servers.values()
+            if entry.covers(area) and (roles is None or entry.role in roles)
+        ]
+        return sorted(matches, key=lambda entry: entry.address)
+
+    def authoritative_servers(self, area: InterestArea) -> list[ServerEntry]:
+        """Authoritative index / meta-index servers covering ``area``."""
+        return [
+            entry
+            for entry in self.servers_covering(
+                area, roles=(ServerRole.INDEX, ServerRole.META_INDEX)
+            )
+            if entry.authoritative
+        ]
+
+    def collections_overlapping(self, area: InterestArea) -> list[CollectionRef]:
+        """Base collections indexed here whose owning server overlaps ``area``."""
+        collections: list[CollectionRef] = []
+        for entry in self.servers_overlapping(area, roles=(ServerRole.BASE,)):
+            collections.extend(entry.collections)
+        return sorted(collections)
+
+    def statements_for(self, level: CatalogLevel, area: InterestArea) -> list[IntensionalStatement]:
+        """Intensional statements applicable to a query over ``area``."""
+        return [statement for statement in self.statements if statement.applies_to(level, area)]
+
+    # -- introspection ------------------------------------------------------------ #
+
+    def size(self) -> int:
+        """Number of server entries plus named-resource entries plus statements.
+
+        Used by the scalability benchmark as the per-peer catalog footprint.
+        """
+        return len(self.servers) + len(self.named_resources) + len(self.statements)
+
+    def known_addresses(self) -> list[str]:
+        """Addresses of all servers known to this catalog."""
+        return sorted(self.servers)
+
+    def require_server(self, address: str) -> ServerEntry:
+        """Return the entry for ``address`` or raise."""
+        try:
+            return self.servers[address]
+        except KeyError:
+            raise CatalogError(f"{self.owner}: unknown server {address!r}") from None

@@ -1,0 +1,13 @@
+"""Traditional distributed-execution baselines: coordinator model and semi-joins."""
+
+from .coordinator import CoordinatorClient, CoordinatorServer, SubordinateServer
+from .semijoin import SemiJoinEstimate, estimate_full_ship, estimate_semijoin
+
+__all__ = [
+    "CoordinatorServer",
+    "SubordinateServer",
+    "CoordinatorClient",
+    "SemiJoinEstimate",
+    "estimate_semijoin",
+    "estimate_full_ship",
+]

@@ -1,0 +1,69 @@
+"""Semi-join reduction for coordinator-style distributed joins ([BC81] in §5.2).
+
+The paper notes that the "only queries, not data, go to the subordinates"
+property of coordinator execution breaks down when semi-joins are used.  We
+provide a small, network-free semi-join cost calculator used by the
+MQP-versus-coordinator benchmark to add a third column: for a two-site join
+it computes how many bytes each strategy moves, which is the classical
+trade-off (ship one relation / ship the join keys then the matching
+tuples / ship a pre-reduced partial result inside an MQP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..xmlmodel import XMLElement, evaluate_path_values, serialized_size
+
+__all__ = ["SemiJoinEstimate", "estimate_semijoin", "estimate_full_ship"]
+
+
+@dataclass(frozen=True)
+class SemiJoinEstimate:
+    """Bytes moved by a semi-join-based two-site join."""
+
+    key_bytes: int
+    matching_bytes: int
+    matching_items: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes shipped between the two sites."""
+        return self.key_bytes + self.matching_bytes
+
+
+def _key_values(items: Sequence[XMLElement], path: str) -> set[str]:
+    values: set[str] = set()
+    for item in items:
+        values.update(evaluate_path_values(item, path))
+    return values
+
+
+def estimate_full_ship(items: Sequence[XMLElement]) -> int:
+    """Bytes moved when one side is shipped wholesale to the other site."""
+    return sum(serialized_size(item) for item in items)
+
+
+def estimate_semijoin(
+    left: Sequence[XMLElement],
+    right: Sequence[XMLElement],
+    left_path: str,
+    right_path: str,
+    bytes_per_key: int = 24,
+) -> SemiJoinEstimate:
+    """Estimate a semi-join reduction of ``right`` by ``left``'s join keys.
+
+    Site L sends the distinct join-key values of ``left`` to site R
+    (``key_bytes``); site R returns only the ``right`` items whose key
+    matches (``matching_bytes``).
+    """
+    keys = _key_values(left, left_path)
+    key_bytes = bytes_per_key * len(keys)
+    matching = [
+        item
+        for item in right
+        if keys.intersection(evaluate_path_values(item, right_path))
+    ]
+    matching_bytes = sum(serialized_size(item) for item in matching)
+    return SemiJoinEstimate(key_bytes, matching_bytes, len(matching))

@@ -1,0 +1,17 @@
+"""Local XML query engine (the reproduction's NIAGARA substitute)."""
+
+from .cost import CostEstimate, CostModel, DEFAULT_JOIN_SELECTIVITY, DEFAULT_SELECT_SELECTIVITY
+from .evaluate import LeafResolver, QueryEngine
+from .statistics import CollectionStatistics, ColumnStatistics, collect_statistics
+
+__all__ = [
+    "QueryEngine",
+    "LeafResolver",
+    "CostModel",
+    "CostEstimate",
+    "DEFAULT_SELECT_SELECTIVITY",
+    "DEFAULT_JOIN_SELECTIVITY",
+    "CollectionStatistics",
+    "ColumnStatistics",
+    "collect_statistics",
+]

@@ -1,0 +1,126 @@
+"""Plan interpreter: evaluate a (sub-)plan over locally available data.
+
+This is the "Query Engine" box of Figure 2.  It walks a logical plan tree
+bottom-up and produces the result collection as a list of XML items.  Data
+for URL / URN leaves is supplied by a *resolver* callback — the engine
+itself has no notion of the network; the mutant-query-plan processor only
+hands it sub-plans whose leaves are locally available.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..errors import EvaluationError
+from ..xmlmodel import XMLElement
+from ..algebra.operators import (
+    Aggregate,
+    ConjointOr,
+    Difference,
+    Display,
+    Join,
+    OrderBy,
+    PlanNode,
+    Project,
+    Select,
+    TopN,
+    Union,
+    URLRef,
+    URNRef,
+    VerbatimData,
+)
+from ..algebra.plan import QueryPlan
+from . import operators as physical
+
+__all__ = ["LeafResolver", "QueryEngine"]
+
+
+LeafResolver = Callable[[PlanNode], Sequence[XMLElement] | None]
+"""Callback mapping a URL/URN leaf to its local data items (or ``None``)."""
+
+
+class QueryEngine:
+    """Evaluates plan trees whose leaves are locally available.
+
+    Parameters
+    ----------
+    resolver:
+        Optional callback consulted for :class:`URLRef` and :class:`URNRef`
+        leaves.  Returning ``None`` means the leaf is not available locally
+        and evaluation fails with :class:`EvaluationError`.
+    """
+
+    def __init__(self, resolver: LeafResolver | None = None) -> None:
+        self.resolver = resolver
+        self.operators_evaluated = 0
+        self.items_produced = 0
+
+    # -- public API ---------------------------------------------------------- #
+
+    def evaluate(self, plan: QueryPlan | PlanNode) -> list[XMLElement]:
+        """Evaluate a plan (or bare node) and return the result items."""
+        node = plan.root if isinstance(plan, QueryPlan) else plan
+        items = self._evaluate(node)
+        self.items_produced += len(items)
+        return items
+
+    def evaluate_collection(self, plan: QueryPlan | PlanNode, tag: str = "result") -> XMLElement:
+        """Evaluate and wrap the result items in a single collection element."""
+        return XMLElement(tag, {}, [item.copy() for item in self.evaluate(plan)])
+
+    # -- recursive evaluation -------------------------------------------------- #
+
+    def _evaluate(self, node: PlanNode) -> list[XMLElement]:
+        self.operators_evaluated += 1
+        if isinstance(node, VerbatimData):
+            return node.items
+        if isinstance(node, (URLRef, URNRef)):
+            return self._resolve_leaf(node)
+        if isinstance(node, Select):
+            return physical.evaluate_select(self._evaluate(node.child), node.predicate)
+        if isinstance(node, Project):
+            return physical.evaluate_project(self._evaluate(node.child), node.columns, node.item_tag)
+        if isinstance(node, Join):
+            return physical.evaluate_join(
+                self._evaluate(node.left),
+                self._evaluate(node.right),
+                node.left_path,
+                node.right_path,
+                node.join_type,
+                node.output_tag,
+            )
+        if isinstance(node, Union):
+            return physical.evaluate_union([self._evaluate(child) for child in node.children])
+        if isinstance(node, ConjointOr):
+            # An unrewritten conjoint union falls back to its first branch
+            # (the rewrite rules A | B -> A / A | B -> B make any branch valid).
+            return self._evaluate(node.children[0])
+        if isinstance(node, Difference):
+            return physical.evaluate_difference(
+                self._evaluate(node.left), self._evaluate(node.right), node.key_path
+            )
+        if isinstance(node, Aggregate):
+            return physical.evaluate_aggregate(
+                self._evaluate(node.child),
+                node.function,
+                node.value_path,
+                node.group_path,
+                node.output_tag,
+            )
+        if isinstance(node, OrderBy):
+            return physical.evaluate_order_by(self._evaluate(node.child), node.path, node.descending)
+        if isinstance(node, TopN):
+            return physical.evaluate_top_n(
+                self._evaluate(node.child), node.limit, node.path, node.descending
+            )
+        if isinstance(node, Display):
+            return self._evaluate(node.child)
+        raise EvaluationError(f"cannot evaluate plan node {type(node).__name__}")
+
+    def _resolve_leaf(self, leaf: PlanNode) -> list[XMLElement]:
+        if self.resolver is not None:
+            items = self.resolver(leaf)
+            if items is not None:
+                return list(items)
+        description = getattr(leaf, "url", None) or getattr(leaf, "urn", None)
+        raise EvaluationError(f"leaf {description!r} is not available locally")

@@ -1,0 +1,216 @@
+"""Physical operator implementations of the local XML query engine.
+
+The paper uses NIAGARA as its local query engine; this module is the
+reproduction's substitute.  Each function consumes and produces Python
+lists of :class:`XMLElement` items (a *collection*), which keeps the
+evaluator simple and makes intermediate results directly embeddable into
+mutant query plans as verbatim XML.
+
+Joins are hash-based when the join paths yield hashable scalar values and
+fall back to nested loops otherwise; both strategies produce identical
+output ordering (left-input order, then right-input order) so evaluation is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from ..errors import EvaluationError
+from ..xmlmodel import XMLElement, evaluate_path_values, text_element
+from ..algebra.expressions import Expression
+
+__all__ = [
+    "evaluate_select",
+    "evaluate_project",
+    "evaluate_join",
+    "evaluate_union",
+    "evaluate_difference",
+    "evaluate_aggregate",
+    "evaluate_order_by",
+    "evaluate_top_n",
+]
+
+
+def _first_value(item: XMLElement, path: str) -> str | None:
+    values = evaluate_path_values(item, path)
+    return values[0] if values else None
+
+
+def _sort_key(value: str | None) -> tuple[int, float | str]:
+    """Total order over optional, possibly-numeric strings.
+
+    Missing values sort last; numeric values sort before strings, among
+    themselves numerically.
+    """
+    if value is None:
+        return (2, "")
+    try:
+        return (0, float(value))
+    except ValueError:
+        return (1, value)
+
+
+def evaluate_select(items: Sequence[XMLElement], predicate: Expression) -> list[XMLElement]:
+    """Keep the items satisfying ``predicate``."""
+    return [item for item in items if predicate.matches(item)]
+
+
+def evaluate_project(
+    items: Sequence[XMLElement],
+    columns: Sequence[tuple[str, str]],
+    item_tag: str = "item",
+) -> list[XMLElement]:
+    """Build new items containing only the projected fields."""
+    projected: list[XMLElement] = []
+    for item in items:
+        fields: list[XMLElement] = []
+        for path, tag in columns:
+            for value in evaluate_path_values(item, path):
+                fields.append(text_element(tag, value))
+        projected.append(XMLElement(item_tag, {}, fields))
+    return projected
+
+
+def evaluate_join(
+    left: Sequence[XMLElement],
+    right: Sequence[XMLElement],
+    left_path: str,
+    right_path: str,
+    join_type: str = "inner",
+    output_tag: str = "tuple",
+) -> list[XMLElement]:
+    """Equality join; ``left_outer`` keeps unmatched left items.
+
+    Items may have several values at the join path (XML is multi-valued);
+    two items join when their value sets intersect, which matches the
+    favourite-songs / track-listing join of Figure 3.
+    """
+    if join_type not in ("inner", "left_outer"):
+        raise EvaluationError(f"unsupported join type {join_type!r}")
+
+    index: dict[str, list[XMLElement]] = defaultdict(list)
+    for right_item in right:
+        for value in set(evaluate_path_values(right_item, right_path)):
+            index[value].append(right_item)
+
+    joined: list[XMLElement] = []
+    for left_item in left:
+        matches: list[XMLElement] = []
+        seen: set[int] = set()
+        for value in evaluate_path_values(left_item, left_path):
+            for right_item in index.get(value, ()):
+                if id(right_item) not in seen:
+                    seen.add(id(right_item))
+                    matches.append(right_item)
+        if matches:
+            for right_item in matches:
+                joined.append(
+                    XMLElement(output_tag, {}, [left_item.copy(), right_item.copy()])
+                )
+        elif join_type == "left_outer":
+            joined.append(XMLElement(output_tag, {}, [left_item.copy()]))
+    return joined
+
+
+def evaluate_union(collections: Sequence[Sequence[XMLElement]]) -> list[XMLElement]:
+    """Bag union: concatenate the input collections."""
+    merged: list[XMLElement] = []
+    for collection in collections:
+        merged.extend(collection)
+    return merged
+
+
+def evaluate_difference(
+    left: Sequence[XMLElement],
+    right: Sequence[XMLElement],
+    key_path: str | None = None,
+) -> list[XMLElement]:
+    """Items of ``left`` not present in ``right``.
+
+    With ``key_path`` given, membership compares the first value at that
+    path; otherwise it compares whole items structurally.
+    """
+    if key_path is None:
+        right_keys = {hash(item) for item in right}
+        return [item for item in left if hash(item) not in right_keys]
+    right_values = {_first_value(item, key_path) for item in right}
+    return [item for item in left if _first_value(item, key_path) not in right_values]
+
+
+def _aggregate_value(function: str, values: list[float]) -> float:
+    if function == "sum":
+        return sum(values)
+    if function == "min":
+        return min(values)
+    if function == "max":
+        return max(values)
+    if function == "avg":
+        return sum(values) / len(values)
+    raise EvaluationError(f"unsupported aggregate function {function!r}")
+
+
+def evaluate_aggregate(
+    items: Sequence[XMLElement],
+    function: str,
+    value_path: str | None = None,
+    group_path: str | None = None,
+    output_tag: str = "aggregate",
+) -> list[XMLElement]:
+    """Grouped or global aggregation.
+
+    Output items carry a ``<group>`` child (when grouping) and a
+    ``<value>`` child holding the aggregate.
+    """
+    groups: dict[str | None, list[XMLElement]] = defaultdict(list)
+    for item in items:
+        key = _first_value(item, group_path) if group_path else None
+        groups[key].append(item)
+    if group_path and not items:
+        groups = {}
+    if not group_path and not groups:
+        groups = {None: []}
+
+    results: list[XMLElement] = []
+    for key in sorted(groups, key=lambda value: (value is None, value)):
+        members = groups[key]
+        if function == "count":
+            value: float = float(len(members))
+        else:
+            assert value_path is not None  # validated at plan construction
+            numbers: list[float] = []
+            for member in members:
+                raw = _first_value(member, value_path)
+                if raw is None:
+                    continue
+                try:
+                    numbers.append(float(raw))
+                except ValueError as exc:
+                    raise EvaluationError(
+                        f"non-numeric value {raw!r} for aggregate {function!r}"
+                    ) from exc
+            if not numbers:
+                continue
+            value = _aggregate_value(function, numbers)
+        children = []
+        if group_path and key is not None:
+            children.append(text_element("group", key))
+        rendered = int(value) if float(value).is_integer() else value
+        children.append(text_element("value", rendered))
+        results.append(XMLElement(output_tag, {"function": function}, children))
+    return results
+
+
+def evaluate_order_by(
+    items: Sequence[XMLElement], path: str, descending: bool = False
+) -> list[XMLElement]:
+    """Stable sort by the (possibly numeric) value at ``path``."""
+    return sorted(items, key=lambda item: _sort_key(_first_value(item, path)), reverse=descending)
+
+
+def evaluate_top_n(
+    items: Sequence[XMLElement], limit: int, path: str, descending: bool = True
+) -> list[XMLElement]:
+    """The first ``limit`` items when ordered by ``path``."""
+    return evaluate_order_by(items, path, descending)[:limit]

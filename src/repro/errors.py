@@ -1,0 +1,80 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+one base class at API boundaries while still being able to discriminate the
+failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class XMLParseError(ReproError):
+    """Raised when an XML document or fragment cannot be parsed."""
+
+
+class PathSyntaxError(ReproError):
+    """Raised when an XPath-lite expression cannot be parsed."""
+
+
+class NamespaceError(ReproError):
+    """Raised for malformed categories, hierarchies, or interest areas."""
+
+
+class URNError(NamespaceError):
+    """Raised when a URN cannot be encoded or decoded."""
+
+
+class PlanError(ReproError):
+    """Raised for structurally invalid query plans."""
+
+
+class PlanSerializationError(PlanError):
+    """Raised when a plan cannot be serialized to or parsed from XML."""
+
+
+class EvaluationError(ReproError):
+    """Raised when the local query engine cannot evaluate a plan."""
+
+
+class CatalogError(ReproError):
+    """Raised for invalid catalog registrations or lookups."""
+
+
+class IntensionalStatementError(CatalogError):
+    """Raised when an intensional statement is malformed or inconsistent."""
+
+
+class BindingError(CatalogError):
+    """Raised when a resource name cannot be bound to any source."""
+
+
+class RoutingError(ReproError):
+    """Raised when a mutant query plan cannot be routed any further."""
+
+
+class PeerError(ReproError):
+    """Raised for protocol violations between peers."""
+
+
+class RegistrationError(PeerError):
+    """Raised when a peer cannot register with the servers it needs."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event network simulator."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload generator receives invalid parameters."""
+
+
+class QoSError(ReproError):
+    """Raised when query preferences cannot be satisfied or are invalid."""
+
+
+class ProvenanceError(ReproError):
+    """Raised for malformed provenance records or failed verification."""

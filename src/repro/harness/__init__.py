@@ -1,0 +1,39 @@
+"""Experiment harness: scenario builders, strategy runners, and report formatting."""
+
+from .experiment import (
+    MQPScenario,
+    build_gnutella_scenario,
+    build_mqp_scenario,
+    build_napster_scenario,
+    build_routing_index_scenario,
+    compare_routing_strategies,
+    item_cell,
+    query_plan_for,
+    run_cd_query_coordinator,
+    run_cd_query_mqp,
+    run_gnutella_queries,
+    run_mqp_queries,
+    run_napster_queries,
+    run_routing_index_queries,
+)
+from .report import format_series, format_summary, format_table
+
+__all__ = [
+    "MQPScenario",
+    "build_mqp_scenario",
+    "run_mqp_queries",
+    "build_gnutella_scenario",
+    "run_gnutella_queries",
+    "build_napster_scenario",
+    "run_napster_queries",
+    "build_routing_index_scenario",
+    "run_routing_index_queries",
+    "compare_routing_strategies",
+    "run_cd_query_mqp",
+    "run_cd_query_coordinator",
+    "item_cell",
+    "query_plan_for",
+    "format_table",
+    "format_series",
+    "format_summary",
+]

@@ -1,0 +1,515 @@
+"""Experiment harness: builds simulated scenarios and runs query batches.
+
+The harness knows how to stand up the same garage-sale population under each
+of the competing architectures — the paper's catalog-routed MQP network,
+Gnutella-style broadcast, a Napster-style central index, and routing
+indices — plus the coordinator-based execution baseline for the Figure 3
+CD query.  Benchmarks call these functions and print the resulting metric
+rows; tests use them with small populations to check end-to-end behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra import PlanBuilder, QueryPlan
+from ..catalog import ServerRole
+from ..distributed import CoordinatorClient, CoordinatorServer, SubordinateServer
+from ..mqp import QueryPreferences
+from ..namespace import (
+    CategoryPath,
+    InterestArea,
+    InterestAreaURN,
+    InterestCell,
+    MultiHierarchicNamespace,
+)
+from ..network import LatencyModel, Network, Topology, random_topology
+from ..peers import (
+    BaseServer,
+    ClientPeer,
+    IndexServer,
+    MetaIndexServer,
+    QueryPeer,
+    register_offline,
+    seed_with_meta_index,
+)
+from ..routing import GnutellaPeer, NapsterIndexServer, NapsterPeer, RoutingIndexPeer
+from ..workloads import CDWorkload, FORSALE_URN, GarageSaleWorkload, QuerySpec, TRACKLIST_URN
+from ..xmlmodel import XMLElement
+
+__all__ = [
+    "MQPScenario",
+    "build_mqp_scenario",
+    "run_mqp_queries",
+    "build_gnutella_scenario",
+    "run_gnutella_queries",
+    "build_napster_scenario",
+    "run_napster_queries",
+    "build_routing_index_scenario",
+    "run_routing_index_queries",
+    "compare_routing_strategies",
+    "run_cd_query_mqp",
+    "run_cd_query_coordinator",
+    "item_cell",
+    "query_plan_for",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Shared helpers
+# --------------------------------------------------------------------------- #
+
+
+def item_cell(namespace: MultiHierarchicNamespace, item: XMLElement) -> InterestCell:
+    """The item-level interest cell of a garage-sale item (city x category)."""
+    city = CategoryPath.parse(item.child_text("city") or "*")
+    category = CategoryPath.parse(item.child_text("category") or "*")
+    return InterestCell((city, category))
+
+
+def query_plan_for(
+    query: QuerySpec, target: str, include_price: bool = True
+) -> QueryPlan:
+    """Build the MQP for a garage-sale query: URN + area/price selection."""
+    urn = str(InterestAreaURN.for_area(query.area))
+    predicates: list[str] = []
+    for cell in query.area:
+        conjuncts = []
+        city, category = cell.coordinates
+        if not city.is_top:
+            conjuncts.append(f"city contains '{city}'")
+        if not category.is_top:
+            conjuncts.append(f"category contains '{category}'")
+        if conjuncts:
+            predicates.append("(" + " and ".join(conjuncts) + ")")
+    builder = PlanBuilder.urn(urn)
+    clauses = []
+    if predicates:
+        clauses.append(" or ".join(predicates))
+    if include_price and query.max_price is not None:
+        clauses.append(f"price < {query.max_price:g}")
+    if clauses:
+        builder = builder.select(" and ".join(f"({clause})" for clause in clauses))
+    return builder.display(target)
+
+
+# --------------------------------------------------------------------------- #
+# MQP / distributed-catalog scenario
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class MQPScenario:
+    """Handles of a built catalog-routed network."""
+
+    network: Network
+    namespace: MultiHierarchicNamespace
+    workload: GarageSaleWorkload
+    client: ClientPeer
+    base_servers: list[BaseServer] = field(default_factory=list)
+    index_servers: list[IndexServer] = field(default_factory=list)
+    meta_index: MetaIndexServer | None = None
+    registrations: int = 0
+
+    @property
+    def peers(self) -> list[QueryPeer]:
+        """Every peer of the scenario."""
+        peers: list[QueryPeer] = [*self.base_servers, *self.index_servers]
+        if self.meta_index is not None:
+            peers.append(self.meta_index)
+        peers.append(self.client)
+        return peers
+
+
+def build_mqp_scenario(
+    workload: GarageSaleWorkload,
+    latency: LatencyModel | None = None,
+    online_registration: bool = False,
+) -> MQPScenario:
+    """Stand up the paper's architecture over a garage-sale workload.
+
+    One base server per seller, one authoritative index server per state
+    (``[country/state, *]``), one meta-index server covering everything,
+    and one client seeded with the meta-index server only.
+    """
+    namespace = workload.namespace
+    network = Network(latency=latency)
+
+    base_servers = []
+    for seller in workload.sellers:
+        server = BaseServer(seller.address, namespace, seller.area)
+        network.register(server)
+        server.publish_collection("items", seller.items)
+        base_servers.append(server)
+
+    states = sorted({tuple(seller.city.segments[:2]) for seller in workload.sellers})
+    index_servers = []
+    for state in states:
+        area = InterestArea([InterestCell((CategoryPath(state), CategoryPath()))])
+        address = f"index-{'-'.join(state).lower()}:9020"
+        index_server = IndexServer(address, namespace, area, authoritative=True)
+        network.register(index_server)
+        index_servers.append(index_server)
+
+    meta_index = MetaIndexServer("meta-index:9020", namespace, authoritative=True)
+    network.register(meta_index)
+
+    client = ClientPeer("client:9020", namespace)
+    network.register(client)
+
+    scenario = MQPScenario(
+        network=network,
+        namespace=namespace,
+        workload=workload,
+        client=client,
+        base_servers=base_servers,
+        index_servers=index_servers,
+        meta_index=meta_index,
+    )
+    peers = scenario.peers
+    if online_registration:
+        from ..peers import register_online
+
+        scenario.registrations = register_online(peers)
+        network.run_until_idle()
+    else:
+        scenario.registrations = register_offline(peers)
+    seed_with_meta_index([client], [meta_index])
+    return scenario
+
+
+def run_mqp_queries(
+    scenario: MQPScenario,
+    queries: list[QuerySpec],
+    preferences: QueryPreferences | None = None,
+    include_price: bool = False,
+) -> dict[str, float]:
+    """Issue a batch of queries from the scenario's client and summarize metrics."""
+    for query in queries:
+        expected = scenario.workload.ground_truth_count(
+            query.area, query.max_price if include_price else None
+        )
+        plan = query_plan_for(query, scenario.client.address, include_price=include_price)
+        scenario.client.issue_query(plan, preferences or QueryPreferences(), expected_answers=expected)
+        scenario.network.run_until_idle()
+    return scenario.network.metrics.summary()
+
+
+# --------------------------------------------------------------------------- #
+# Gnutella broadcast scenario
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class GnutellaScenario:
+    """Handles of a built broadcast overlay."""
+
+    network: Network
+    namespace: MultiHierarchicNamespace
+    workload: GarageSaleWorkload
+    client: GnutellaPeer
+    peers: list[GnutellaPeer]
+    topology: Topology
+
+
+def build_gnutella_scenario(
+    workload: GarageSaleWorkload,
+    degree: int = 4,
+    latency: LatencyModel | None = None,
+    seed: int = 11,
+) -> GnutellaScenario:
+    """One Gnutella peer per seller plus a data-less client, on a random overlay."""
+    namespace = workload.namespace
+    network = Network(latency=latency)
+    addresses = [seller.address for seller in workload.sellers] + ["client:9020"]
+    topology = random_topology(addresses, degree=degree, seed=seed)
+
+    peers = []
+    for seller in workload.sellers:
+        peer = GnutellaPeer(seller.address, topology)
+        network.register(peer)
+        for item in seller.items:
+            peer.add_items(item_cell(namespace, item), [item])
+        peers.append(peer)
+    client = GnutellaPeer("client:9020", topology)
+    network.register(client)
+    return GnutellaScenario(network, namespace, workload, client, peers, topology)
+
+
+def run_gnutella_queries(
+    scenario: GnutellaScenario, queries: list[QuerySpec], horizon: int = 3
+) -> dict[str, float]:
+    """Broadcast each query from the client with the given horizon."""
+    for query in queries:
+        expected = scenario.workload.ground_truth_count(query.area, None)
+        query_id = scenario.client.issue_query(query.area, horizon)
+        scenario.network.metrics.trace(query_id).expected_answers = expected
+        scenario.network.run_until_idle()
+        trace = scenario.network.metrics.trace(query_id)
+        if trace.completed_at is None:
+            trace.completed_at = scenario.network.simulator.now
+    return scenario.network.metrics.summary()
+
+
+# --------------------------------------------------------------------------- #
+# Napster central-index scenario
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class NapsterScenario:
+    """Handles of a built central-index deployment."""
+
+    network: Network
+    namespace: MultiHierarchicNamespace
+    workload: GarageSaleWorkload
+    index: NapsterIndexServer
+    client: NapsterPeer
+    peers: list[NapsterPeer]
+
+
+def build_napster_scenario(
+    workload: GarageSaleWorkload, latency: LatencyModel | None = None
+) -> NapsterScenario:
+    """One Napster peer per seller, one central index, one client."""
+    namespace = workload.namespace
+    network = Network(latency=latency)
+    index = NapsterIndexServer("central-index:9020")
+    network.register(index)
+    peers = []
+    for seller in workload.sellers:
+        peer = NapsterPeer(seller.address, index.address)
+        network.register(peer)
+        for item in seller.items:
+            peer.publish(item_cell(namespace, item), [item])
+        peers.append(peer)
+    client = NapsterPeer("client:9020", index.address)
+    network.register(client)
+    network.run_until_idle()  # flush the publish traffic before measuring queries
+    return NapsterScenario(network, namespace, workload, index, client, peers)
+
+
+def run_napster_queries(scenario: NapsterScenario, queries: list[QuerySpec]) -> dict[str, float]:
+    """Run each query through the central index."""
+    for query in queries:
+        expected = scenario.workload.ground_truth_count(query.area, None)
+        query_id = scenario.client.issue_query(query.area)
+        scenario.network.metrics.trace(query_id).expected_answers = expected
+        scenario.network.run_until_idle()
+        trace = scenario.network.metrics.trace(query_id)
+        if trace.completed_at is None:
+            trace.completed_at = scenario.network.simulator.now
+    return scenario.network.metrics.summary()
+
+
+# --------------------------------------------------------------------------- #
+# Routing-index scenario
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class RoutingIndexScenario:
+    """Handles of a built routing-index overlay."""
+
+    network: Network
+    namespace: MultiHierarchicNamespace
+    workload: GarageSaleWorkload
+    client: RoutingIndexPeer
+    peers: list[RoutingIndexPeer]
+    topology: Topology
+
+
+def build_routing_index_scenario(
+    workload: GarageSaleWorkload,
+    degree: int = 4,
+    latency: LatencyModel | None = None,
+    seed: int = 11,
+) -> RoutingIndexScenario:
+    """One routing-index peer per seller plus a client, with indices advertised."""
+    namespace = workload.namespace
+    network = Network(latency=latency)
+    addresses = [seller.address for seller in workload.sellers] + ["client:9020"]
+    topology = random_topology(addresses, degree=degree, seed=seed)
+    peers = []
+    for seller in workload.sellers:
+        peer = RoutingIndexPeer(seller.address, namespace, topology)
+        network.register(peer)
+        for item in seller.items:
+            peer.add_items(item_cell(namespace, item), [item])
+        peers.append(peer)
+    client = RoutingIndexPeer("client:9020", namespace, topology)
+    network.register(client)
+    for peer in [*peers, client]:
+        peer.advertise()
+    network.run_until_idle()
+    return RoutingIndexScenario(network, namespace, workload, client, peers, topology)
+
+
+def run_routing_index_queries(
+    scenario: RoutingIndexScenario, queries: list[QuerySpec], wanted: int = 10
+) -> dict[str, float]:
+    """Run each query with routing-index-guided forwarding."""
+    for query in queries:
+        expected = scenario.workload.ground_truth_count(query.area, None)
+        query_id = scenario.client.issue_query(query.area, wanted=max(wanted, expected))
+        scenario.network.metrics.trace(query_id).expected_answers = expected
+        scenario.network.run_until_idle()
+        trace = scenario.network.metrics.trace(query_id)
+        if trace.completed_at is None:
+            trace.completed_at = scenario.network.simulator.now
+    return scenario.network.metrics.summary()
+
+
+# --------------------------------------------------------------------------- #
+# Cross-strategy comparison (EXP-ROUTING)
+# --------------------------------------------------------------------------- #
+
+
+def compare_routing_strategies(
+    workload: GarageSaleWorkload,
+    queries: list[QuerySpec],
+    gnutella_horizon: int = 3,
+    overlay_degree: int = 4,
+) -> list[dict[str, object]]:
+    """Run the same query batch under every strategy; one summary row each."""
+    rows: list[dict[str, object]] = []
+
+    mqp_scenario = build_mqp_scenario(workload)
+    mqp_summary = run_mqp_queries(mqp_scenario, queries)
+    rows.append({"strategy": "mqp-catalog", **mqp_summary})
+
+    gnutella_scenario = build_gnutella_scenario(workload, degree=overlay_degree)
+    gnutella_summary = run_gnutella_queries(gnutella_scenario, queries, horizon=gnutella_horizon)
+    rows.append({"strategy": f"gnutella(h={gnutella_horizon})", **gnutella_summary})
+
+    napster_scenario = build_napster_scenario(workload)
+    napster_summary = run_napster_queries(napster_scenario, queries)
+    napster_summary["central_server_messages"] = float(
+        napster_scenario.network.metrics.messages_by_sender.get(napster_scenario.index.address, 0)
+        + sum(
+            1
+            for trace in napster_scenario.network.metrics.traces.values()
+            if napster_scenario.index.address in trace.visited
+        )
+    )
+    rows.append({"strategy": "napster-central", **napster_summary})
+
+    ri_scenario = build_routing_index_scenario(workload, degree=overlay_degree)
+    ri_summary = run_routing_index_queries(ri_scenario, queries)
+    rows.append({"strategy": "routing-index", **ri_summary})
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 3 CD query: MQP versus coordinator execution (EXP-MQP-VS-COORD)
+# --------------------------------------------------------------------------- #
+
+
+def run_cd_query_mqp(
+    cd_workload: CDWorkload, latency: LatencyModel | None = None
+) -> tuple[dict[str, float], set[str]]:
+    """Execute the Figure 3 query with mutant query plans.
+
+    Returns the network metric summary and the CD titles found.
+    """
+    namespace = cd_workload.namespace
+    network = Network(latency=latency)
+    area = cd_workload.portland_cd_area()
+
+    seller_peers = []
+    for seller in cd_workload.sellers:
+        peer = BaseServer(seller.address, namespace, area)
+        network.register(peer)
+        peer.publish_collection("cds", seller.items)
+        peer.publish_named_resource(FORSALE_URN, "cds")
+        seller_peers.append(peer)
+
+    tracklist_area = namespace.top_area()
+    tracklist_peer = BaseServer("tracklist:9020", namespace, tracklist_area)
+    network.register(tracklist_peer)
+    tracklist_peer.publish_collection("tracklistings", cd_workload.track_listings)
+    tracklist_peer.publish_named_resource(TRACKLIST_URN, "tracklistings")
+
+    index_server = IndexServer("index-portland:9020", namespace, area, authoritative=True)
+    network.register(index_server)
+    client = ClientPeer("client:9020", namespace)
+    network.register(client)
+
+    register_offline([*seller_peers, tracklist_peer, index_server, client])
+    seed_with_meta_index([client], [index_server])
+    # The client knows the track-listing service out of band (like CDDB).
+    client.learn_about(tracklist_peer.server_entry())
+    client.catalog.register_named_resource(
+        tracklist_peer.catalog.named_resources[TRACKLIST_URN]
+    )
+    index_server.catalog.register_named_resource(
+        tracklist_peer.catalog.named_resources[TRACKLIST_URN]
+    )
+    for peer in seller_peers:
+        peer.catalog.register_named_resource(
+            tracklist_peer.catalog.named_resources[TRACKLIST_URN]
+        )
+
+    plan = cd_workload.figure3_plan(client.address)
+    expected = cd_workload.expected_matches()
+    mqp = client.issue_query(plan, QueryPreferences(), expected_answers=len(expected))
+    network.run_until_idle()
+    result = client.result_for(mqp.query_id)
+    found: set[str] = set()
+    if result is not None:
+        for item in result.items:
+            for title_node in item.iter_tag("title"):
+                if title_node.text:
+                    found.add(title_node.text)
+    return network.metrics.summary(), found & expected if expected else found
+
+
+def run_cd_query_coordinator(
+    cd_workload: CDWorkload, latency: LatencyModel | None = None
+) -> tuple[dict[str, float], set[str]]:
+    """Execute the same query with a coordinator and subordinate servers."""
+    network = Network(latency=latency)
+    coordinator = CoordinatorServer("coordinator:9020")
+    network.register(coordinator)
+
+    subordinate_urls = []
+    for seller in cd_workload.sellers:
+        subordinate = SubordinateServer(seller.address)
+        network.register(subordinate)
+        subordinate.add_collection("/cds", seller.items)
+        subordinate_urls.append((seller.address, "/cds"))
+    tracklist = SubordinateServer("tracklist:9020")
+    network.register(tracklist)
+    tracklist.add_collection("/tracklistings", cd_workload.track_listings)
+
+    client = CoordinatorClient("client:9020", coordinator.address)
+    network.register(client)
+
+    # The coordinator model ships a fully concrete plan: the client (or the
+    # coordinator's global catalog) already knows every URL.
+    cheap = PlanBuilder.url(subordinate_urls[0][0], subordinate_urls[0][1])
+    union = cheap
+    if len(subordinate_urls) > 1:
+        union = cheap.union(
+            *[PlanBuilder.url(url, path) for url, path in subordinate_urls[1:]]
+        )
+    cheap_selected = union.select(f"price < {cd_workload.config.max_price:g}")
+    joined = cheap_selected.join(
+        PlanBuilder.url(tracklist.address, "/tracklistings"), on=("//title", "//CD/title")
+    )
+    with_favorites = joined.join(
+        PlanBuilder.data(cd_workload.favorite_songs, name="favorite-songs"),
+        on=("//song", "//favorite/song"),
+    )
+    plan = with_favorites.display(client.address)
+
+    expected = cd_workload.expected_matches()
+    query_id = client.issue_query(plan)
+    network.metrics.trace(query_id).expected_answers = len(expected)
+    network.run_until_idle()
+    found: set[str] = set()
+    for item in client.results_for(query_id):
+        for title_node in item.iter_tag("title"):
+            if title_node.text:
+                found.add(title_node.text)
+    return network.metrics.summary(), found & expected if expected else found

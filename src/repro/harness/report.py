@@ -1,0 +1,70 @@
+"""Plain-text tables and series for the benchmark harness.
+
+Every benchmark prints the rows or series it reproduces (the paper has no
+numeric tables, so these are the measurable versions of its qualitative
+claims); ``EXPERIMENTS.md`` records the same output.  The formatting here is
+deliberately dependency-free: aligned monospace tables that survive being
+pasted into Markdown code blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_summary"]
+
+
+def _render(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_render(row.get(column, ""), precision) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = " | ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [
+        " | ".join(value.rjust(width) for value, width in zip(line, widths))
+        for line in rendered
+    ]
+    lines = ([title] if title else []) + [header, separator] + body
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render one or more y-series against a shared x-axis (a figure as text)."""
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row: dict[str, object] = {x_label: x_value}
+        for name, values in series.items():
+            row[name] = values[index]
+        rows.append(row)
+    return format_table(rows, [x_label, *series.keys()], title=title, precision=precision)
+
+
+def format_summary(summary: Mapping[str, float], title: str | None = None, precision: int = 2) -> str:
+    """Render a flat metric dictionary as a two-column table."""
+    rows = [{"metric": key, "value": value} for key, value in summary.items()]
+    return format_table(rows, ["metric", "value"], title=title, precision=precision)

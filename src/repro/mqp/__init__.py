@@ -1,0 +1,19 @@
+"""Mutant query plans: the paper's core contribution (plan + mutation pipeline)."""
+
+from .plan import MutantQueryPlan, QueryPreferences
+from .policy import PolicyDecision, PolicyManager
+from .processor import MQPProcessor, ProcessingAction, ProcessingResult
+from .provenance import ProvenanceAction, ProvenanceLog, ProvenanceRecord
+
+__all__ = [
+    "MutantQueryPlan",
+    "QueryPreferences",
+    "ProvenanceLog",
+    "ProvenanceRecord",
+    "ProvenanceAction",
+    "PolicyManager",
+    "PolicyDecision",
+    "MQPProcessor",
+    "ProcessingAction",
+    "ProcessingResult",
+]

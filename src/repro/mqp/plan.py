@@ -1,0 +1,189 @@
+"""The mutant query plan itself: algebra plan + target + provenance + preferences.
+
+A :class:`MutantQueryPlan` packages everything that travels between peers:
+
+* the (partially evaluated) algebraic plan,
+* the target address the final result must reach,
+* the provenance log (§5.1),
+* a copy of the original, unevaluated plan (§5.1: "maintaining the original
+  query along with the partially evaluated query also allows a server to
+  improve or enhance bindings, or even undo them"),
+* the query preferences of §4.3 (time budget plus a binary preference for
+  complete versus current answers).
+
+The wire format wraps the plan's XML serialization, so shipping an MQP is
+just shipping one XML document.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..algebra import QueryPlan, plan_from_xml, plan_to_xml
+from ..errors import PlanError
+from ..xmlmodel import XMLElement, parse_xml, serialize_xml
+from .provenance import ProvenanceLog
+
+__all__ = ["QueryPreferences", "MutantQueryPlan"]
+
+_query_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class QueryPreferences:
+    """The simple tradeoff controls the paper proposes in §4.3.
+
+    ``target_time_ms`` is the query's evaluation-time budget in simulated
+    milliseconds (``None`` means unbounded), and ``prefer`` is the binary
+    completeness-versus-currency preference, extended with ``fast`` for the
+    latency-first behaviour used by several benchmarks.
+    """
+
+    target_time_ms: float | None = None
+    prefer: str = "complete"
+
+    VALID = ("complete", "current", "fast")
+
+    def __post_init__(self) -> None:
+        if self.prefer not in self.VALID:
+            raise PlanError(f"preference must be one of {self.VALID}, got {self.prefer!r}")
+        if self.target_time_ms is not None and self.target_time_ms <= 0:
+            raise PlanError("target_time_ms must be positive")
+
+    def to_xml(self) -> XMLElement:
+        attributes: dict[str, object] = {"prefer": self.prefer}
+        if self.target_time_ms is not None:
+            attributes["target-time-ms"] = f"{self.target_time_ms:g}"
+        return XMLElement("preferences", attributes)
+
+    @classmethod
+    def from_xml(cls, element: XMLElement) -> "QueryPreferences":
+        target = element.get("target-time-ms")
+        return cls(
+            target_time_ms=float(target) if target is not None else None,
+            prefer=element.get("prefer", "complete") or "complete",
+        )
+
+
+@dataclass
+class MutantQueryPlan:
+    """Everything a peer receives, mutates, and forwards."""
+
+    plan: QueryPlan
+    query_id: str = field(default_factory=lambda: f"q{next(_query_counter)}")
+    provenance: ProvenanceLog = field(default_factory=ProvenanceLog)
+    original: QueryPlan | None = None
+    preferences: QueryPreferences = field(default_factory=QueryPreferences)
+    issued_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.original is None:
+            self.original = self.plan.copy()
+
+    # -- convenience ------------------------------------------------------------ #
+
+    @property
+    def target(self) -> str | None:
+        """The address the fully evaluated result must be sent to."""
+        return self.plan.target
+
+    def is_fully_evaluated(self) -> bool:
+        """True when the plan is a constant piece of XML data."""
+        return self.plan.is_fully_evaluated()
+
+    def remaining_urns(self) -> list[str]:
+        """URN strings still unresolved in the plan."""
+        return [ref.urn for ref in self.plan.urn_refs()]
+
+    def remaining_urls(self) -> list[str]:
+        """URLs still unresolved in the plan."""
+        return [ref.url for ref in self.plan.url_refs()]
+
+    def original_resources(self) -> list[str]:
+        """The resource names the original query referenced (for spoof checks)."""
+        assert self.original is not None
+        resources = [ref.urn for ref in self.original.urn_refs()]
+        resources.extend(ref.url for ref in self.original.url_refs())
+        return resources
+
+    def elapsed_ms(self, now: float) -> float:
+        """Simulated time since the query was issued."""
+        return max(0.0, now - self.issued_at)
+
+    def over_budget(self, now: float) -> bool:
+        """True when the query's time budget has been exhausted."""
+        budget = self.preferences.target_time_ms
+        return budget is not None and self.elapsed_ms(now) > budget
+
+    # -- wire format --------------------------------------------------------------- #
+
+    def to_xml(self) -> XMLElement:
+        """Serialize the complete MQP (plan, original, provenance, preferences)."""
+        children = [
+            XMLElement("current", {}, [plan_to_xml(self.plan)]),
+            self.preferences.to_xml(),
+            self.provenance.to_xml(),
+        ]
+        if self.original is not None:
+            children.append(XMLElement("original", {}, [plan_to_xml(self.original)]))
+        return XMLElement(
+            "mutant-query",
+            {"id": self.query_id, "issued-at": f"{self.issued_at:.3f}"},
+            children,
+        )
+
+    def serialize(self, indent: int | None = None) -> str:
+        """The XML string shipped between peers."""
+        return serialize_xml(self.to_xml(), indent=indent)
+
+    def wire_size(self) -> int:
+        """Size in bytes of the wire encoding (partial results included)."""
+        return len(self.serialize().encode("utf-8"))
+
+    @classmethod
+    def from_xml(cls, element: XMLElement) -> "MutantQueryPlan":
+        """Parse the element form produced by :meth:`to_xml`."""
+        if element.tag != "mutant-query":
+            raise PlanError(f"expected <mutant-query>, got <{element.tag}>")
+        current = element.find("current")
+        if current is None or not current.children:
+            raise PlanError("<mutant-query> has no <current> plan")
+        plan = plan_from_xml(current.children[0])
+        original_wrapper = element.find("original")
+        original = (
+            plan_from_xml(original_wrapper.children[0])
+            if original_wrapper is not None and original_wrapper.children
+            else None
+        )
+        preferences_element = element.find("preferences")
+        preferences = (
+            QueryPreferences.from_xml(preferences_element)
+            if preferences_element is not None
+            else QueryPreferences()
+        )
+        provenance_element = element.find("provenance")
+        provenance = (
+            ProvenanceLog.from_xml(provenance_element)
+            if provenance_element is not None
+            else ProvenanceLog()
+        )
+        return cls(
+            plan=plan,
+            query_id=element.get("id", f"q{next(_query_counter)}"),
+            provenance=provenance,
+            original=original,
+            preferences=preferences,
+            issued_at=float(element.get("issued-at", "0") or 0.0),
+        )
+
+    @classmethod
+    def deserialize(cls, document: str) -> "MutantQueryPlan":
+        """Parse the XML string form."""
+        return cls.from_xml(parse_xml(document))
+
+    def __repr__(self) -> str:
+        return (
+            f"MutantQueryPlan({self.query_id!r}, nodes={self.plan.size()}, "
+            f"urns={len(self.remaining_urns())}, evaluated={self.is_fully_evaluated()})"
+        )

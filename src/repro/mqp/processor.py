@@ -1,0 +1,361 @@
+"""The per-server MQP processing pipeline of Figure 2.
+
+    MQP (XML) → Parser → Catalog (URN resolution) → Optimizer →
+    Policy Manager → Query Engine → mutated MQP (XML) → next server
+
+The :class:`MQPProcessor` implements one server's worth of that pipeline.
+It is network-agnostic: the peer classes in :mod:`repro.peers` feed it
+incoming plans and act on the returned :class:`ProcessingResult` (deliver
+the result, forward the plan, or report that it is stuck).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence
+
+from ..algebra.operators import LeafNode, PlanNode, URLRef, URNRef, VerbatimData
+from ..catalog import Binder, Catalog, RoutingCache, ServerRole
+from ..engine import QueryEngine
+from ..engine.statistics import collect_statistics
+from ..errors import RoutingError, URNError
+from ..namespace import InterestAreaURN, MultiHierarchicNamespace, NamedURN, parse_urn
+from ..optimizer import Optimizer
+from ..xmlmodel import XMLElement
+from .plan import MutantQueryPlan
+from .policy import PolicyManager
+from .provenance import ProvenanceAction
+
+__all__ = ["ProcessingAction", "ProcessingResult", "MQPProcessor"]
+
+
+class ProcessingAction(str, Enum):
+    """What the hosting peer should do with the plan after processing."""
+
+    DELIVER = "deliver"            # fully evaluated: send result to the target
+    DELIVER_PARTIAL = "partial"    # time budget exhausted: send what we have
+    FORWARD = "forward"            # send the mutated plan to the chosen next hop
+    STUCK = "stuck"                # nothing evaluable and nowhere to route
+
+
+@dataclass
+class ProcessingResult:
+    """Outcome of one server's processing step."""
+
+    action: ProcessingAction
+    mqp: MutantQueryPlan
+    next_hop: str | None = None
+    bound_urns: int = 0
+    evaluated_subplans: int = 0
+    route_candidates: list[str] = field(default_factory=list)
+
+
+class MQPProcessor:
+    """One peer's mutant-query-plan pipeline."""
+
+    def __init__(
+        self,
+        address: str,
+        catalog: Catalog,
+        namespace: MultiHierarchicNamespace | None = None,
+        collections: dict[str, list[XMLElement]] | None = None,
+        cache: RoutingCache | None = None,
+        optimizer: Optimizer | None = None,
+        policy: PolicyManager | None = None,
+        annotate_statistics: bool = True,
+        max_hops: int = 32,
+    ) -> None:
+        self.address = address
+        self.catalog = catalog
+        self.namespace = namespace
+        self.collections = collections if collections is not None else {}
+        self.cache = cache or RoutingCache()
+        self.optimizer = optimizer or Optimizer()
+        self.policy = policy or PolicyManager()
+        self.annotate_statistics = annotate_statistics
+        self.max_hops = max_hops
+        self.binder = Binder(catalog)
+        self.processed_plans = 0
+
+    # ------------------------------------------------------------------ #
+    # Local data availability
+    # ------------------------------------------------------------------ #
+
+    def has_collection(self, path: str) -> bool:
+        """True when this peer stores the collection at ``path``."""
+        return path in self.collections
+
+    def add_collection(self, path: str, items: Sequence[XMLElement]) -> None:
+        """Store (or replace) a local collection."""
+        self.collections[path] = list(items)
+
+    def _is_local_url(self, leaf: URLRef) -> bool:
+        if leaf.url not in (self.address, f"http://{self.address}"):
+            return False
+        return leaf.path is None or self.has_collection(leaf.path)
+
+    def _leaf_available(self, leaf: LeafNode) -> bool:
+        if isinstance(leaf, VerbatimData):
+            return True
+        if isinstance(leaf, URLRef):
+            return self._is_local_url(leaf)
+        return False
+
+    def _resolve_local_leaf(self, leaf: PlanNode) -> list[XMLElement] | None:
+        if isinstance(leaf, URLRef) and self._is_local_url(leaf):
+            if leaf.path is None:
+                merged: list[XMLElement] = []
+                for items in self.collections.values():
+                    merged.extend(items)
+                return merged
+            return self.collections[leaf.path]
+        return None
+
+    # ------------------------------------------------------------------ #
+    # The pipeline
+    # ------------------------------------------------------------------ #
+
+    def process(self, mqp: MutantQueryPlan, now: float = 0.0) -> ProcessingResult:
+        """Run the full Figure-2 pipeline once and decide what happens next."""
+        self.processed_plans += 1
+        route_candidates: list[str] = []
+
+        bound = self._bind_urns(mqp, now, route_candidates)
+        evaluated = self._optimize_and_evaluate(mqp, now)
+
+        if mqp.is_fully_evaluated():
+            return ProcessingResult(
+                ProcessingAction.DELIVER,
+                mqp,
+                bound_urns=bound,
+                evaluated_subplans=evaluated,
+            )
+
+        if mqp.over_budget(now) or mqp.provenance.hop_count() >= self.max_hops:
+            return ProcessingResult(
+                ProcessingAction.DELIVER_PARTIAL,
+                mqp,
+                bound_urns=bound,
+                evaluated_subplans=evaluated,
+            )
+
+        urn_candidates, data_candidates = self._candidates_for_remaining(mqp)
+        route_candidates.extend(urn_candidates)
+        ordered = self._order_candidates(route_candidates + data_candidates)
+        revisitable = self._order_candidates(data_candidates)
+        next_hop = self.policy.choose_next_hop(
+            ordered, mqp.provenance.visited_servers(), revisitable=revisitable
+        )
+        if next_hop is None:
+            return ProcessingResult(
+                ProcessingAction.STUCK,
+                mqp,
+                bound_urns=bound,
+                evaluated_subplans=evaluated,
+                route_candidates=ordered,
+            )
+        mqp.provenance.add(self.address, ProvenanceAction.FORWARDED, now, detail=next_hop)
+        return ProcessingResult(
+            ProcessingAction.FORWARD,
+            mqp,
+            next_hop=next_hop,
+            bound_urns=bound,
+            evaluated_subplans=evaluated,
+            route_candidates=ordered,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Stage 1: URN binding via the catalog
+    # ------------------------------------------------------------------ #
+
+    def _bind_urns(
+        self, mqp: MutantQueryPlan, now: float, route_candidates: list[str]
+    ) -> int:
+        bound = 0
+        for ref in list(mqp.plan.urn_refs()):
+            try:
+                parsed = parse_urn(ref.urn)
+            except URNError:
+                continue
+            replacement: PlanNode | None = None
+            staleness = 0.0
+            if isinstance(parsed, NamedURN):
+                replacement = self._bind_named(parsed, route_candidates)
+            elif isinstance(parsed, InterestAreaURN):
+                replacement, staleness = self._bind_area(parsed, mqp, route_candidates)
+            if replacement is None:
+                continue
+            mqp.plan.replace_node(ref, replacement)
+            mqp.provenance.add(
+                self.address,
+                ProvenanceAction.BOUND,
+                now,
+                detail=ref.urn,
+                staleness_minutes=staleness,
+            )
+            bound += 1
+        return bound
+
+    def _lookup_named(self, urn: NamedURN):
+        """Look a named URN up under both its full form and its bare name."""
+        return self.catalog.lookup_named(str(urn)) or self.catalog.lookup_named(urn.name)
+
+    def _bind_named(self, urn: NamedURN, route_candidates: list[str]) -> PlanNode | None:
+        entry = self._lookup_named(urn)
+        if entry is None:
+            route_candidates.extend(self._known_indexers())
+            return None
+        route_candidates.extend(entry.resolver_servers)
+        if not entry.collections:
+            return None
+        leaves: list[PlanNode] = [
+            URLRef(collection.url, collection.path) for collection in entry.collections
+        ]
+        if len(leaves) == 1:
+            return leaves[0]
+        from ..algebra.operators import Union as UnionOp
+
+        return UnionOp(leaves)
+
+    def _bind_area(
+        self,
+        urn: InterestAreaURN,
+        mqp: MutantQueryPlan,
+        route_candidates: list[str],
+    ) -> tuple[PlanNode | None, float]:
+        binding = self.binder.bind_area(urn.area)
+        if binding is None:
+            route_candidates.extend(self._routing_servers_for(urn.area))
+            return None, 0.0
+        alternative = self.policy.choose_alternative(binding, mqp.preferences)
+        for source in alternative.sources:
+            if not source.is_concrete:
+                route_candidates.append(source.server)
+        if not alternative.is_concrete:
+            # Partially routable alternative: keep the URN so a downstream
+            # server can finish the binding, but remember where to go.
+            route_candidates.extend(self._routing_servers_for(urn.area))
+            return None, 0.0
+        return alternative.to_plan_node(str(urn)), alternative.max_delay_minutes
+
+    def _known_indexers(self) -> list[str]:
+        """Every index / meta-index server this catalog knows about."""
+        entries = [
+            entry.address
+            for entry in self.catalog.servers.values()
+            if entry.role in (ServerRole.INDEX, ServerRole.META_INDEX)
+            and entry.address != self.address
+        ]
+        return sorted(entries)
+
+    def _routing_servers_for(self, area) -> list[str]:
+        candidates: list[str] = []
+        for entry in self.cache.lookup(area, require_cover=True):
+            candidates.append(entry.server)
+        for entry in self.catalog.authoritative_servers(area):
+            candidates.append(entry.address)
+        for entry in self.catalog.servers_overlapping(
+            area, roles=(ServerRole.INDEX, ServerRole.META_INDEX)
+        ):
+            candidates.append(entry.address)
+        return [address for address in candidates if address != self.address]
+
+    # ------------------------------------------------------------------ #
+    # Stages 2-4: optimize, policy, evaluate, reduce
+    # ------------------------------------------------------------------ #
+
+    def _optimize_and_evaluate(self, mqp: MutantQueryPlan, now: float) -> int:
+        outcome = self.optimizer.optimize(mqp.plan, self._leaf_available)
+        if outcome.fired_rules:
+            mqp.provenance.add(
+                self.address,
+                ProvenanceAction.REOPTIMIZED,
+                now,
+                detail=",".join(outcome.fired_rules),
+            )
+        mqp.plan = outcome.plan
+
+        decision = self.policy.choose_subplans(outcome)
+        engine = QueryEngine(resolver=self._resolve_local_leaf)
+        evaluated = 0
+        for subplan in decision.evaluate:
+            items = engine.evaluate(subplan)
+            leaf = mqp.plan.substitute_result(subplan, items)
+            if self.annotate_statistics:
+                stats = collect_statistics(items)
+                for key, value in stats.to_annotations().items():
+                    leaf.annotate(key, value)
+            mqp.provenance.add(
+                self.address,
+                ProvenanceAction.EVALUATED,
+                now,
+                detail=f"{subplan.operator}->{len(items)} items",
+            )
+            evaluated += 1
+        return evaluated
+
+    # ------------------------------------------------------------------ #
+    # Stage 5: routing candidates for whatever is left
+    # ------------------------------------------------------------------ #
+
+    def _candidates_for_remaining(self, mqp: MutantQueryPlan) -> tuple[list[str], list[str]]:
+        """Candidates split into (URN-routing servers, data-holding servers).
+
+        Data-holding servers may be revisited: a leaf that was not reducible
+        on the first visit (because other inputs were still abstract) can be
+        reduced once the plan has accumulated the missing data — the
+        round-trip of Figure 4.
+        """
+        urn_candidates: list[str] = []
+        data_candidates: list[str] = []
+        for ref in mqp.plan.url_refs():
+            if not self._is_local_url(ref):
+                data_candidates.append(ref.url.removeprefix("http://"))
+        for ref in mqp.plan.urn_refs():
+            try:
+                parsed = parse_urn(ref.urn)
+            except URNError:
+                continue
+            if isinstance(parsed, InterestAreaURN):
+                urn_candidates.extend(self._routing_servers_for(parsed.area))
+            elif isinstance(parsed, NamedURN):
+                entry = self._lookup_named(parsed)
+                if entry is not None:
+                    urn_candidates.extend(entry.resolver_servers)
+                    data_candidates.extend(collection.url for collection in entry.collections)
+                else:
+                    urn_candidates.extend(self._known_indexers())
+        return urn_candidates, data_candidates
+
+    def _order_candidates(self, candidates: list[str]) -> list[str]:
+        ordered: list[str] = []
+        for candidate in candidates:
+            address = candidate.removeprefix("http://")
+            if address != self.address and address not in ordered:
+                ordered.append(address)
+        return ordered
+
+    # ------------------------------------------------------------------ #
+    # Learning from plans that pass through (§5.1 meta-index updating)
+    # ------------------------------------------------------------------ #
+
+    def learn_from(self, mqp: MutantQueryPlan) -> None:
+        """Cache which servers successfully handled which interest areas."""
+        for ref in mqp.original.urn_refs() if mqp.original else []:
+            try:
+                parsed = parse_urn(ref.urn)
+            except URNError:
+                continue
+            if not isinstance(parsed, InterestAreaURN):
+                continue
+            for record in mqp.provenance.records:
+                if record.action is ProvenanceAction.BOUND and record.detail == ref.urn:
+                    if record.server != self.address:
+                        self.cache.remember(parsed.area, record.server)
+
+    def require_target(self, mqp: MutantQueryPlan) -> str:
+        """Return the plan's target or raise a routing error."""
+        if mqp.target is None:
+            raise RoutingError(f"plan {mqp.query_id} has no target address")
+        return mqp.target

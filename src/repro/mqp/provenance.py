@@ -1,0 +1,164 @@
+"""Provenance carried inside mutant query plans (paper §5.1).
+
+"An MQP can also carry along a history of all the servers it has visited,
+as well as what each one did (provided bindings, provided data, re-optimized
+the MQP, evaluated a sub-expression, or merely forwarded the MQP), when it
+did it, and how current the information was."
+
+The provenance log is serialized with the plan, so every server (and the
+final client) can judge answer quality, detect spoofing, reward helpful
+indexers, or improve its own catalog from what it observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import ProvenanceError
+from ..xmlmodel import XMLElement
+
+__all__ = ["ProvenanceAction", "ProvenanceRecord", "ProvenanceLog"]
+
+
+class ProvenanceAction(str, Enum):
+    """What a server did to the plan while it held it."""
+
+    BOUND = "bound"          # resolved a URN to URLs / data sources
+    RESOLVED = "resolved"    # replaced a URL with its data
+    EVALUATED = "evaluated"  # reduced a sub-plan to verbatim data
+    REOPTIMIZED = "reoptimized"
+    FORWARDED = "forwarded"
+    DELIVERED = "delivered"
+
+
+@dataclass(frozen=True)
+class ProvenanceRecord:
+    """One entry of the provenance log."""
+
+    server: str
+    action: ProvenanceAction
+    time: float
+    detail: str = ""
+    staleness_minutes: float = 0.0
+
+    def to_xml(self) -> XMLElement:
+        """Serialize as one ``<visit>`` element."""
+        attributes = {
+            "server": self.server,
+            "action": self.action.value,
+            "time": f"{self.time:.3f}",
+        }
+        if self.detail:
+            attributes["detail"] = self.detail
+        if self.staleness_minutes:
+            attributes["staleness"] = f"{self.staleness_minutes:g}"
+        return XMLElement("visit", attributes)
+
+    @classmethod
+    def from_xml(cls, element: XMLElement) -> "ProvenanceRecord":
+        """Parse one ``<visit>`` element."""
+        server = element.get("server")
+        action = element.get("action")
+        time = element.get("time")
+        if server is None or action is None or time is None:
+            raise ProvenanceError("malformed <visit> element in provenance log")
+        return cls(
+            server=server,
+            action=ProvenanceAction(action),
+            time=float(time),
+            detail=element.get("detail", "") or "",
+            staleness_minutes=float(element.get("staleness", "0") or 0.0),
+        )
+
+
+@dataclass
+class ProvenanceLog:
+    """The ordered history of everything that happened to a plan."""
+
+    records: list[ProvenanceRecord] = field(default_factory=list)
+
+    def add(
+        self,
+        server: str,
+        action: ProvenanceAction,
+        time: float,
+        detail: str = "",
+        staleness_minutes: float = 0.0,
+    ) -> ProvenanceRecord:
+        """Append a record and return it."""
+        record = ProvenanceRecord(server, action, time, detail, staleness_minutes)
+        self.records.append(record)
+        return record
+
+    # -- queries ---------------------------------------------------------------- #
+
+    def visited_servers(self) -> list[str]:
+        """Every server that handled the plan, in first-visit order."""
+        seen: list[str] = []
+        for record in self.records:
+            if record.server not in seen:
+                seen.append(record.server)
+        return seen
+
+    def actions_by(self, server: str) -> list[ProvenanceRecord]:
+        """Everything one server did to the plan."""
+        return [record for record in self.records if record.server == server]
+
+    def evaluations(self) -> list[ProvenanceRecord]:
+        """Records of sub-plan evaluations."""
+        return [record for record in self.records if record.action is ProvenanceAction.EVALUATED]
+
+    def hop_count(self) -> int:
+        """Number of forward hops the plan took."""
+        return sum(1 for record in self.records if record.action is ProvenanceAction.FORWARDED)
+
+    def max_staleness(self) -> float:
+        """Largest staleness bound among the data used (judging answer currency)."""
+        if not self.records:
+            return 0.0
+        return max(record.staleness_minutes for record in self.records)
+
+    def servers_that_bound(self, resource: str) -> list[str]:
+        """Servers that claim to have bound the named resource."""
+        return [
+            record.server
+            for record in self.records
+            if record.action is ProvenanceAction.BOUND and resource in record.detail
+        ]
+
+    # -- spoof detection (§5.1) ---------------------------------------------------- #
+
+    def suspicious_resources(self, expected_resources: list[str]) -> list[str]:
+        """Resources that were expected but never bound or evaluated by anyone.
+
+        In the paper's example, server S binds a competitor's source B to the
+        empty set: the provenance then shows the plan never visited any
+        server for B, which is the trigger for sending a verification query.
+        """
+        suspicious = []
+        for resource in expected_resources:
+            touched = any(
+                resource in record.detail
+                and record.action in (ProvenanceAction.BOUND, ProvenanceAction.EVALUATED, ProvenanceAction.RESOLVED)
+                for record in self.records
+            )
+            if not touched:
+                suspicious.append(resource)
+        return suspicious
+
+    # -- serialization -------------------------------------------------------------- #
+
+    def to_xml(self) -> XMLElement:
+        """Serialize the whole log as a ``<provenance>`` element."""
+        return XMLElement("provenance", {}, [record.to_xml() for record in self.records])
+
+    @classmethod
+    def from_xml(cls, element: XMLElement) -> "ProvenanceLog":
+        """Parse a ``<provenance>`` element."""
+        if element.tag != "provenance":
+            raise ProvenanceError(f"expected <provenance>, got <{element.tag}>")
+        return cls([ProvenanceRecord.from_xml(child) for child in element.find_all("visit")])
+
+    def __len__(self) -> int:
+        return len(self.records)

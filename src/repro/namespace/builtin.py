@@ -1,0 +1,137 @@
+"""The example hierarchies and namespaces used throughout the paper.
+
+Two application domains recur in the paper:
+
+* **The P2P garage sale** (Figures 3–5): a Location hierarchy
+  (country/state/city) crossed with a Merchandise hierarchy modelled on
+  on-line auction categories.
+* **Gene-expression repositories** (Figure 1, "Of Mice and Men"): an
+  Organism taxonomy crossed with a CellType hierarchy.
+
+These builders return fresh :class:`Hierarchy` /
+:class:`MultiHierarchicNamespace` instances so tests and workloads can
+mutate their copies freely.
+"""
+
+from __future__ import annotations
+
+from .hierarchy import Hierarchy
+from .interest import MultiHierarchicNamespace
+
+__all__ = [
+    "location_hierarchy",
+    "merchandise_hierarchy",
+    "garage_sale_namespace",
+    "organism_hierarchy",
+    "cell_type_hierarchy",
+    "gene_expression_namespace",
+]
+
+
+def location_hierarchy() -> Hierarchy:
+    """Country/state/city location hierarchy (Figure 5, left axis)."""
+    hierarchy = Hierarchy("Location")
+    hierarchy.add_tree(
+        {
+            "USA": {
+                "OR": {"Portland": {}, "Eugene": {}, "Salem": {}, "Bend": {}},
+                "WA": {"Vancouver": {}, "Seattle": {}, "Spokane": {}, "Tacoma": {}},
+                "CA": {"SanFrancisco": {}, "LosAngeles": {}, "SanDiego": {}, "Sacramento": {}},
+                "NY": {"NewYorkCity": {}, "Buffalo": {}, "Albany": {}},
+                "TX": {"Austin": {}, "Houston": {}, "Dallas": {}},
+            },
+            "France": {
+                "IleDeFrance": {"Paris": {}, "Versailles": {}},
+                "PACA": {"Marseille": {}, "Nice": {}},
+            },
+            "Canada": {
+                "BC": {"VancouverBC": {}, "Victoria": {}},
+                "Ontario": {"Toronto": {}, "Ottawa": {}},
+            },
+        }
+    )
+    return hierarchy
+
+
+def merchandise_hierarchy() -> Hierarchy:
+    """eBay-style merchandise hierarchy (Figure 5, bottom axis)."""
+    hierarchy = Hierarchy("Merchandise")
+    hierarchy.add_tree(
+        {
+            "Electronics": {"TV": {}, "VCR": {}, "Audio": {"Speakers": {}, "Amplifiers": {}}, "Cameras": {}},
+            "Furniture": {"Tables": {}, "Chairs": {"Armchairs": {}, "OfficeChairs": {}}, "Sofas": {}, "Beds": {}},
+            "Music": {"CDs": {}, "Vinyl": {}, "Cassettes": {}, "Instruments": {"Guitars": {}, "Keyboards": {}}},
+            "Books": {"Fiction": {}, "NonFiction": {}, "Textbooks": {}, "Comics": {}},
+            "SportingGoods": {
+                "GolfClubs": {"Putters": {}, "Drivers": {}, "Irons": {}},
+                "Bicycles": {},
+                "Skis": {},
+                "Tennis": {},
+            },
+            "Clothing": {"Coats": {}, "Shoes": {}, "Dresses": {}},
+            "Toys": {"BoardGames": {}, "VideoGames": {}, "Dolls": {}},
+            "Collectibles": {"BaseballCards": {}, "Stamps": {}, "Coins": {}},
+        }
+    )
+    return hierarchy
+
+
+def garage_sale_namespace() -> MultiHierarchicNamespace:
+    """The Location × Merchandise namespace of the P2P garage sale."""
+    return MultiHierarchicNamespace([location_hierarchy(), merchandise_hierarchy()])
+
+
+def organism_hierarchy() -> Hierarchy:
+    """Simplified organism taxonomy from Figure 1."""
+    hierarchy = Hierarchy("Organism")
+    hierarchy.add_tree(
+        {
+            "Coelomata": {
+                "Protostomia": {"Drosophila": {"Melanogaster": {}}},
+                "Deuterostomia": {
+                    "Mammalia": {
+                        "Eutheria": {
+                            "Primates": {"HomoSapiens": {}},
+                            "Rodentia": {
+                                "Murinae": {
+                                    "Mus": {"Musculus": {}},
+                                    "Rattus": {"Norvegicus": {}},
+                                }
+                            },
+                        }
+                    }
+                },
+            }
+        }
+    )
+    return hierarchy
+
+
+def cell_type_hierarchy() -> Hierarchy:
+    """Simplified cell-type hierarchy from Figure 1."""
+    hierarchy = Hierarchy("CellType")
+    hierarchy.add_tree(
+        {
+            "Neural": {
+                "Neurons": {"Sensory": {}, "Motor": {}, "Association": {}},
+                "Glial": {},
+            },
+            "Connective": {
+                "Bone": {"Osteoblasts": {}, "Osteoclasts": {}},
+                "Adipose": {},
+                "Blood": {},
+            },
+            "Muscle": {
+                "Skeletal": {},
+                "Smooth": {},
+                "Cardiac": {"Autorhythmic": {}, "Contractile": {}},
+            },
+            "Epithelial": {"Cilliated": {}, "Secretory": {}},
+        }
+    )
+    return hierarchy
+
+
+def gene_expression_namespace() -> MultiHierarchicNamespace:
+    """The Organism × CellType namespace of the gene-expression scenario."""
+    return MultiHierarchicNamespace([organism_hierarchy(), cell_type_hierarchy()])

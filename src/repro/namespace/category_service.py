@@ -1,0 +1,93 @@
+"""Category servers: answering queries about the dimensions themselves (paper §3.5).
+
+A category server maintains data about the categorization hierarchies,
+answers questions such as "what are the immediate subcategories of
+Furniture?", approximates references to unknown categories by known
+ancestors, and can delegate portions of the namespace it manages to other
+category servers, "much like the way DNS servers can delegate sub-domains".
+
+:class:`CategoryService` is the protocol-free core used both directly by
+tests and wrapped by the :class:`repro.peers.category_peer.CategoryServerPeer`
+network peer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import NamespaceError
+from .hierarchy import CategoryPath, Hierarchy
+
+__all__ = ["Delegation", "CategoryService"]
+
+
+@dataclass(frozen=True)
+class Delegation:
+    """A sub-tree of a dimension handed off to another category service."""
+
+    dimension: str
+    root: CategoryPath
+    delegate: str  # identifier (address) of the delegate service
+
+
+@dataclass
+class CategoryService:
+    """Manages one or more dimensions and supports DNS-style delegation."""
+
+    hierarchies: dict[str, Hierarchy] = field(default_factory=dict)
+    delegations: list[Delegation] = field(default_factory=list)
+
+    # -- administration -------------------------------------------------- #
+
+    def manage(self, hierarchy: Hierarchy) -> None:
+        """Start managing (a copy of the reference to) ``hierarchy``."""
+        self.hierarchies[hierarchy.name] = hierarchy
+
+    def delegate(self, dimension: str, root: CategoryPath | str, delegate: str) -> Delegation:
+        """Delegate the subtree under ``root`` of ``dimension`` to another service."""
+        hierarchy = self._hierarchy(dimension)
+        path = hierarchy.validate(root)
+        delegation = Delegation(dimension, path, delegate)
+        self.delegations.append(delegation)
+        return delegation
+
+    def delegation_for(self, dimension: str, category: CategoryPath | str) -> Delegation | None:
+        """Return the most specific delegation covering ``category``, if any."""
+        path = CategoryPath.parse(category) if isinstance(category, str) else category
+        best: Delegation | None = None
+        for delegation in self.delegations:
+            if delegation.dimension != dimension:
+                continue
+            if delegation.root.covers(path):
+                if best is None or delegation.root.depth > best.root.depth:
+                    best = delegation
+        return best
+
+    # -- queries ---------------------------------------------------------- #
+
+    def dimensions(self) -> list[str]:
+        """Names of the dimensions this service manages."""
+        return sorted(self.hierarchies)
+
+    def subcategories(self, dimension: str, category: CategoryPath | str) -> list[CategoryPath]:
+        """Immediate subcategories of ``category`` (the paper's example query)."""
+        return self._hierarchy(dimension).children(category)
+
+    def parent(self, dimension: str, category: CategoryPath | str) -> CategoryPath:
+        """The parent category of ``category``."""
+        hierarchy = self._hierarchy(dimension)
+        return hierarchy.validate(category).parent
+
+    def contains(self, dimension: str, category: CategoryPath | str) -> bool:
+        """True when ``category`` is a known category of ``dimension``."""
+        return category in self._hierarchy(dimension)
+
+    def approximate(self, dimension: str, category: CategoryPath | str) -> CategoryPath:
+        """Rewrite an unknown category to its deepest known ancestor (§3.5)."""
+        return self._hierarchy(dimension).approximate(category)
+
+    def _hierarchy(self, dimension: str) -> Hierarchy:
+        try:
+            return self.hierarchies[dimension]
+        except KeyError:
+            raise NamespaceError(f"category service does not manage dimension {dimension!r}") from None

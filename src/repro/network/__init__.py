@@ -1,0 +1,27 @@
+"""Simulated peer-to-peer network substrate (discrete-event, deterministic)."""
+
+from .failures import FailureEvent, FailureInjector
+from .latency import LatencyModel
+from .message import Message
+from .metrics import NetworkMetrics, QueryTrace
+from .network import Network
+from .node import NetworkNode
+from .simulator import Event, Simulator
+from .topology import Topology, random_topology, small_world_topology, star_topology
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Message",
+    "LatencyModel",
+    "Network",
+    "NetworkNode",
+    "NetworkMetrics",
+    "QueryTrace",
+    "Topology",
+    "random_topology",
+    "small_world_topology",
+    "star_topology",
+    "FailureInjector",
+    "FailureEvent",
+]

@@ -1,0 +1,73 @@
+"""Failure injection: peers going offline and (optionally) coming back.
+
+Fault tolerance is one of the paper's headline motivations for the P2P
+model — "failure or unavailability of a single server ... does not disable
+the system".  The :class:`FailureInjector` schedules crash and recovery
+events on the shared simulator so experiments can measure completeness and
+latency under churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .network import Network
+
+__all__ = ["FailureEvent", "FailureInjector"]
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A scheduled crash (and optional recovery) of one peer."""
+
+    address: str
+    fail_at: float
+    recover_at: float | None = None
+
+
+@dataclass
+class FailureInjector:
+    """Schedules failures on a network."""
+
+    network: Network
+    events: list[FailureEvent] = field(default_factory=list)
+
+    def schedule(self, address: str, fail_at: float, recover_at: float | None = None) -> FailureEvent:
+        """Take ``address`` offline at ``fail_at`` (and back online at ``recover_at``)."""
+        event = FailureEvent(address, fail_at, recover_at)
+        self.events.append(event)
+        node = self.network.node(address)
+        self.network.simulator.schedule_at(fail_at, node.go_offline)
+        if recover_at is not None:
+            if recover_at <= fail_at:
+                raise ValueError("recovery must happen after the failure")
+            self.network.simulator.schedule_at(recover_at, node.go_online)
+        return event
+
+    def schedule_random(
+        self,
+        addresses: list[str],
+        failure_fraction: float,
+        fail_window_ms: tuple[float, float],
+        outage_ms: float | None = None,
+        seed: int = 13,
+    ) -> list[FailureEvent]:
+        """Fail a random subset of ``addresses`` within a time window.
+
+        ``outage_ms`` of ``None`` means the peers never come back.
+        """
+        rng = np.random.default_rng(seed)
+        count = int(round(len(addresses) * failure_fraction))
+        chosen = sorted(rng.choice(addresses, size=count, replace=False)) if count else []
+        scheduled = []
+        for address in chosen:
+            fail_at = float(rng.uniform(*fail_window_ms))
+            recover_at = fail_at + outage_ms if outage_ms is not None else None
+            scheduled.append(self.schedule(address, fail_at, recover_at))
+        return scheduled
+
+    def failed_addresses(self) -> list[str]:
+        """Addresses with at least one scheduled failure."""
+        return sorted({event.address for event in self.events})

@@ -1,0 +1,51 @@
+"""Messages exchanged between simulated peers."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message"]
+
+_message_counter = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A single network message.
+
+    ``kind`` names the protocol step (``mqp``, ``register``, ``query``,
+    ``result``, ...); ``payload`` is an arbitrary Python object (usually an
+    XML string for MQPs, or small dataclasses for control traffic);
+    ``size_bytes`` is what the latency model charges for the transfer.
+    """
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Any = None
+    size_bytes: int = 256
+    message_id: int = field(default_factory=lambda: next(_message_counter))
+    sent_at: float = 0.0
+    hop: int = 0
+
+    def __post_init__(self) -> None:
+        self.size_bytes = max(1, int(self.size_bytes))
+
+    def reply_to(self, kind: str, payload: Any = None, size_bytes: int = 256) -> "Message":
+        """Build a response message addressed back to the sender."""
+        return Message(
+            sender=self.recipient,
+            recipient=self.sender,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+            hop=self.hop + 1,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(#{self.message_id} {self.kind!r} "
+            f"{self.sender} -> {self.recipient}, {self.size_bytes}B)"
+        )

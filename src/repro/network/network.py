@@ -1,0 +1,100 @@
+"""The simulated peer-to-peer network: registration, delivery, failures.
+
+The :class:`Network` connects :class:`~repro.network.node.NetworkNode`
+instances through the discrete-event :class:`Simulator`.  Delivery charges
+the latency model's delay, records traffic in :class:`NetworkMetrics`, and
+silently drops messages to peers that are offline — exactly the failure
+mode the paper's fault-tolerance discussion cares about (an unavailable
+server makes some content unreachable but does not disable the system).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..errors import SimulationError
+from .latency import LatencyModel
+from .message import Message
+from .metrics import NetworkMetrics
+from .simulator import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .node import NetworkNode
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Registry of nodes plus the message-delivery fabric between them."""
+
+    def __init__(
+        self,
+        simulator: Simulator | None = None,
+        latency: LatencyModel | None = None,
+    ) -> None:
+        self.simulator = simulator or Simulator()
+        self.latency = latency or LatencyModel()
+        self.metrics = NetworkMetrics()
+        self._nodes: dict[str, "NetworkNode"] = {}
+
+    # -- membership --------------------------------------------------------- #
+
+    def register(self, node: "NetworkNode") -> None:
+        """Add a node to the network; addresses must be unique."""
+        if node.address in self._nodes:
+            raise SimulationError(f"duplicate node address {node.address!r}")
+        self._nodes[node.address] = node
+        node.attach(self)
+
+    def node(self, address: str) -> "NetworkNode":
+        """Return the node registered under ``address``."""
+        try:
+            return self._nodes[address]
+        except KeyError:
+            raise SimulationError(f"unknown node address {address!r}") from None
+
+    def has_node(self, address: str) -> bool:
+        """True when a node is registered under ``address``."""
+        return address in self._nodes
+
+    def addresses(self) -> list[str]:
+        """All registered addresses, sorted for determinism."""
+        return sorted(self._nodes)
+
+    def nodes(self) -> Iterable["NetworkNode"]:
+        """All registered nodes in address order."""
+        return [self._nodes[address] for address in self.addresses()]
+
+    # -- delivery -------------------------------------------------------------- #
+
+    def send(self, message: Message) -> None:
+        """Queue a message for delivery after the modelled network delay."""
+        message.sent_at = self.simulator.now
+        self.metrics.record_send(message)
+        if message.recipient not in self._nodes:
+            self.metrics.record_drop(message)
+            return
+        delay = self.latency.delivery_delay(
+            message.sender, message.recipient, message.size_bytes
+        )
+        self.simulator.schedule(delay, lambda: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        node = self._nodes.get(message.recipient)
+        if node is None or not node.online:
+            self.metrics.record_drop(message)
+            return
+        node.receive(message)
+
+    # -- convenience ------------------------------------------------------------- #
+
+    def run(self, until: float | None = None) -> None:
+        """Run the simulation (until idle, or until the given time)."""
+        self.simulator.run(until=until)
+
+    def run_until_idle(self) -> None:
+        """Run the simulation until no events remain."""
+        self.simulator.run_until_idle()
+
+    def __repr__(self) -> str:
+        return f"Network(nodes={len(self._nodes)}, now={self.simulator.now:.1f}ms)"

@@ -1,0 +1,98 @@
+"""Base class for simulated peers."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..errors import SimulationError
+from .message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from .network import Network
+
+__all__ = ["NetworkNode"]
+
+
+class NetworkNode:
+    """A participant in the simulated network.
+
+    Subclasses implement :meth:`handle_message`.  The important property the
+    paper insists on is that roles are "not fixed or pre-assigned": any node
+    can originate queries, serve data, or maintain indexes; the peer classes
+    in :mod:`repro.peers` therefore all derive from this one base.
+    """
+
+    def __init__(self, address: str) -> None:
+        if not address:
+            raise SimulationError("node address must be non-empty")
+        self.address = address
+        self.online = True
+        self.network: "Network | None" = None
+        self.received_messages = 0
+        self.sent_messages = 0
+
+    # -- lifecycle ------------------------------------------------------------ #
+
+    def attach(self, network: "Network") -> None:
+        """Called by :meth:`Network.register`."""
+        self.network = network
+
+    def go_offline(self) -> None:
+        """Take the node off the network (messages to it are dropped)."""
+        self.online = False
+
+    def go_online(self) -> None:
+        """Bring the node back."""
+        self.online = True
+
+    # -- messaging -------------------------------------------------------------- #
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        self._require_network()
+        return self.network.simulator.now  # type: ignore[union-attr]
+
+    def send(
+        self,
+        recipient: str,
+        kind: str,
+        payload: Any = None,
+        size_bytes: int = 256,
+        hop: int = 0,
+    ) -> Message:
+        """Send a message through the network fabric."""
+        self._require_network()
+        message = Message(
+            sender=self.address,
+            recipient=recipient,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+            hop=hop,
+        )
+        self.sent_messages += 1
+        self.network.send(message)  # type: ignore[union-attr]
+        return message
+
+    def schedule(self, delay: float, callback) -> None:
+        """Schedule local work on the shared simulator."""
+        self._require_network()
+        self.network.simulator.schedule(delay, callback)  # type: ignore[union-attr]
+
+    def receive(self, message: Message) -> None:
+        """Entry point called by the network on delivery."""
+        self.received_messages += 1
+        self.handle_message(message)
+
+    def handle_message(self, message: Message) -> None:
+        """Process one delivered message (subclasses override)."""
+        raise NotImplementedError
+
+    def _require_network(self) -> None:
+        if self.network is None:
+            raise SimulationError(f"node {self.address!r} is not attached to a network")
+
+    def __repr__(self) -> str:
+        status = "online" if self.online else "offline"
+        return f"{type(self).__name__}({self.address!r}, {status})"

@@ -1,0 +1,123 @@
+"""Deterministic discrete-event simulator.
+
+All distributed behaviour in the reproduction — peers exchanging mutant
+query plans, registrations propagating to authoritative servers, baseline
+broadcasts — runs on this single-threaded event loop.  Time is simulated
+milliseconds; events scheduled for the same instant run in scheduling
+order, which keeps every experiment bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; ordering is (time, sequence number)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from running when its time comes."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A minimal but complete discrete-event loop.
+
+    The simulator deliberately exposes only ``schedule`` / ``run`` /
+    ``run_until_idle``; components that need periodic behaviour re-schedule
+    themselves from their callbacks.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._processed = 0
+
+    # -- clock ------------------------------------------------------------- #
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    # -- scheduling ---------------------------------------------------------- #
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` milliseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self._now + delay, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        return self.schedule(time - self._now, callback)
+
+    # -- execution ------------------------------------------------------------ #
+
+    def step(self) -> bool:
+        """Run the next pending event; return False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int = 1_000_000) -> None:
+        """Run events until the queue drains, ``until`` is reached, or the cap hits.
+
+        ``max_events`` guards against accidental event storms in buggy
+        protocols; hitting it raises :class:`SimulationError`.
+        """
+        executed = 0
+        while self._queue:
+            next_event = self._queue[0]
+            if next_event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and next_event.time > until:
+                self._now = until
+                return
+            if not self.step():
+                return
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(f"simulation exceeded {max_events} events")
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        """Run until no events remain."""
+        self.run(until=None, max_events=max_events)
+
+    def __repr__(self) -> str:
+        return f"Simulator(now={self._now:.3f}ms, pending={self.pending_events})"

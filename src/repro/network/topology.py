@@ -1,0 +1,100 @@
+"""Overlay topologies for the unstructured-P2P baselines.
+
+Catalog-based routing (the paper's proposal) does not need an overlay graph:
+peers contact the index / meta-index servers they know about.  The Gnutella
+baseline, however, broadcasts along an unstructured overlay, and the routing
+index baseline forwards along overlay edges, so both need neighbour graphs.
+These builders produce deterministic graphs (seeded) over a list of peer
+addresses using ``networkx``.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..errors import SimulationError
+
+__all__ = ["Topology", "random_topology", "small_world_topology", "star_topology"]
+
+
+class Topology:
+    """A neighbour graph over peer addresses."""
+
+    def __init__(self, graph: nx.Graph) -> None:
+        self.graph = graph
+
+    @property
+    def addresses(self) -> list[str]:
+        """All peer addresses in the overlay, sorted."""
+        return sorted(self.graph.nodes)
+
+    def neighbors(self, address: str) -> list[str]:
+        """Overlay neighbours of ``address``, sorted for determinism."""
+        if address not in self.graph:
+            raise SimulationError(f"{address!r} is not part of the overlay")
+        return sorted(self.graph.neighbors(address))
+
+    def degree(self, address: str) -> int:
+        """Number of overlay neighbours."""
+        return len(self.neighbors(address))
+
+    def average_degree(self) -> float:
+        """Mean degree of the overlay."""
+        nodes = self.graph.number_of_nodes()
+        if nodes == 0:
+            return 0.0
+        return 2.0 * self.graph.number_of_edges() / nodes
+
+    def is_connected(self) -> bool:
+        """True when every peer can reach every other peer."""
+        return nx.is_connected(self.graph) if self.graph.number_of_nodes() else True
+
+
+def random_topology(addresses: list[str], degree: int = 4, seed: int = 11) -> Topology:
+    """A connected random regular-ish overlay (Gnutella-style)."""
+    count = len(addresses)
+    if count < 2:
+        graph = nx.Graph()
+        graph.add_nodes_from(addresses)
+        return Topology(graph)
+    degree = max(1, min(degree, count - 1))
+    if (degree * count) % 2 == 1:
+        degree += 1
+        degree = min(degree, count - 1)
+    graph = nx.random_regular_graph(degree, count, seed=seed)
+    graph = nx.relabel_nodes(graph, dict(enumerate(addresses)))
+    _ensure_connected(graph, addresses)
+    return Topology(graph)
+
+
+def small_world_topology(
+    addresses: list[str], neighbors: int = 4, rewire_probability: float = 0.2, seed: int = 11
+) -> Topology:
+    """A Watts–Strogatz small-world overlay."""
+    count = len(addresses)
+    if count < 3:
+        return random_topology(addresses, seed=seed)
+    neighbors = max(2, min(neighbors, count - 1))
+    if neighbors % 2 == 1:
+        neighbors += 1
+    graph = nx.connected_watts_strogatz_graph(count, neighbors, rewire_probability, seed=seed)
+    graph = nx.relabel_nodes(graph, dict(enumerate(addresses)))
+    return Topology(graph)
+
+
+def star_topology(center: str, leaves: list[str]) -> Topology:
+    """A hub-and-spoke overlay (the Napster-style central index)."""
+    graph = nx.Graph()
+    graph.add_node(center)
+    for leaf in leaves:
+        graph.add_edge(center, leaf)
+    return Topology(graph)
+
+
+def _ensure_connected(graph: nx.Graph, addresses: list[str]) -> None:
+    """Patch a disconnected random graph by chaining its components."""
+    if nx.is_connected(graph):
+        return
+    components = [sorted(component) for component in nx.connected_components(graph)]
+    for first, second in zip(components, components[1:]):
+        graph.add_edge(first[0], second[0])

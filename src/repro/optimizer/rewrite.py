@@ -1,0 +1,83 @@
+"""Rule-based rewrite framework for query plans.
+
+A rewrite rule inspects one plan node and either returns a replacement
+subtree or ``None``.  The :class:`RewriteEngine` applies a list of rules to
+every node of a plan repeatedly until a fixpoint (or an iteration cap) is
+reached.  Both the classical relational rules and the MQP-specific rules of
+the paper (consolidation, absorption, deferment) are expressed in this
+framework, which keeps each rule small and independently testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..algebra.operators import PlanNode
+from ..algebra.plan import QueryPlan
+
+__all__ = ["RewriteRule", "RewriteResult", "RewriteEngine"]
+
+
+@dataclass
+class RewriteRule:
+    """A named transformation of a single plan node.
+
+    ``apply`` returns the replacement node (a new subtree) when the rule
+    fires, or ``None`` when it does not apply.  Rules must not mutate the
+    node they are given; the engine performs the substitution.
+    """
+
+    name: str
+    apply: Callable[[PlanNode], PlanNode | None]
+    description: str = ""
+
+    def __call__(self, node: PlanNode) -> PlanNode | None:
+        return self.apply(node)
+
+
+@dataclass
+class RewriteResult:
+    """Outcome of running the rewrite engine over one plan."""
+
+    plan: QueryPlan
+    applications: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def fired_rules(self) -> list[str]:
+        """Names of the rules that fired, in application order."""
+        return [name for name, _ in self.applications]
+
+    def count(self, rule_name: str) -> int:
+        """How many times the named rule fired."""
+        return sum(1 for name, _ in self.applications if name == rule_name)
+
+
+class RewriteEngine:
+    """Applies rewrite rules to plans until fixpoint."""
+
+    def __init__(self, rules: Sequence[RewriteRule], max_passes: int = 10) -> None:
+        self.rules = list(rules)
+        self.max_passes = max_passes
+
+    def rewrite_plan(self, plan: QueryPlan) -> RewriteResult:
+        """Rewrite a copy of ``plan``; the input plan is left untouched."""
+        working = plan.copy()
+        result = RewriteResult(working)
+        for _ in range(self.max_passes):
+            if not self._single_pass(working, result):
+                break
+        return result
+
+    def _single_pass(self, plan: QueryPlan, result: RewriteResult) -> bool:
+        """Apply the first matching rule anywhere in the plan; True if something fired."""
+        for node in list(plan.iter_nodes()):
+            for rule in self.rules:
+                replacement = rule(node)
+                if replacement is None or replacement is node:
+                    continue
+                plan.replace_node(node, replacement)
+                result.applications.append((rule.name, node.operator))
+                plan.validate()
+                return True
+        return False

@@ -1,0 +1,26 @@
+"""Peer roles: base servers, index and meta-index servers, clients, registration."""
+
+from .peer import QueryPeer, QueryResult, RegistrationPayload
+from .registration import (
+    covering_indexers,
+    register_offline,
+    register_online,
+    registration_plan,
+    seed_with_meta_index,
+)
+from .roles import BaseServer, ClientPeer, IndexServer, MetaIndexServer
+
+__all__ = [
+    "QueryPeer",
+    "QueryResult",
+    "RegistrationPayload",
+    "BaseServer",
+    "IndexServer",
+    "MetaIndexServer",
+    "ClientPeer",
+    "covering_indexers",
+    "registration_plan",
+    "register_offline",
+    "register_online",
+    "seed_with_meta_index",
+]

@@ -1,0 +1,358 @@
+"""The query peer: one participant that can play any of the paper's roles.
+
+The paper stresses that in a P2P system roles "are not fixed or
+pre-assigned; this query's client may well become the next query's server".
+:class:`QueryPeer` therefore implements *all* the machinery — publishing
+collections (base server), indexing other servers (index / meta-index
+server), issuing queries (client) — and a peer simply enables the roles it
+wants.  Thin subclasses in :mod:`repro.peers.roles` give the conventional
+names used by examples and benchmarks.
+
+Message kinds understood:
+
+``mqp``
+    A serialized mutant query plan to process and route onward.
+``result`` / ``partial-result``
+    A (possibly partial) query result arriving at its target.
+``register``
+    A server announcing itself (entry + optional intensional statements).
+``register-ack``
+    The index server's acknowledgement, carrying its own entry so the
+    registering peer learns about the indexer too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..algebra import QueryPlan
+from ..catalog import (
+    Catalog,
+    CollectionRef,
+    IntensionalStatement,
+    NamedResourceEntry,
+    RoutingCache,
+    ServerEntry,
+    ServerRole,
+)
+from ..errors import PeerError
+from ..mqp import (
+    MQPProcessor,
+    MutantQueryPlan,
+    ProcessingAction,
+    ProcessingResult,
+    ProvenanceAction,
+    QueryPreferences,
+)
+from ..namespace import InterestArea, MultiHierarchicNamespace
+from ..network import Message, NetworkNode
+from ..xmlmodel import XMLElement, parse_xml, serialize_xml
+
+__all__ = ["RegistrationPayload", "QueryResult", "QueryPeer"]
+
+
+@dataclass
+class RegistrationPayload:
+    """What a server sends when registering with an index / meta-index server."""
+
+    entry: ServerEntry
+    statements: list[IntensionalStatement] = field(default_factory=list)
+    named_resources: list[NamedResourceEntry] = field(default_factory=list)
+
+
+@dataclass
+class QueryResult:
+    """What a client records when a result (or partial result) arrives."""
+
+    query_id: str
+    items: list[XMLElement]
+    partial: bool = False
+    received_at: float = 0.0
+    provenance_hops: int = 0
+    max_staleness_minutes: float = 0.0
+
+    @property
+    def count(self) -> int:
+        """Number of result items."""
+        return len(self.items)
+
+
+class QueryPeer(NetworkNode):
+    """A peer that can serve data, maintain indexes, and issue queries."""
+
+    def __init__(
+        self,
+        address: str,
+        namespace: MultiHierarchicNamespace,
+        roles: Sequence[ServerRole] = (ServerRole.BASE,),
+        interest_area: InterestArea | None = None,
+        authoritative: bool = False,
+    ) -> None:
+        super().__init__(address)
+        self.namespace = namespace
+        self.roles = set(roles)
+        self.interest_area = interest_area or namespace.top_area()
+        self.authoritative = authoritative
+        self.catalog = Catalog(owner=address)
+        self.cache = RoutingCache()
+        self.collections: dict[str, list[XMLElement]] = {}
+        self.collection_areas: dict[str, InterestArea] = {}
+        self.processor = MQPProcessor(
+            address,
+            self.catalog,
+            namespace,
+            collections=self.collections,
+            cache=self.cache,
+        )
+        self.results: dict[str, QueryResult] = {}
+        self.statements: list[IntensionalStatement] = []
+        self.plans_processed = 0
+        self.plans_forwarded = 0
+        self.plans_stuck = 0
+
+    # ------------------------------------------------------------------ #
+    # Base-server behaviour: publishing data
+    # ------------------------------------------------------------------ #
+
+    def publish_collection(
+        self,
+        name: str,
+        items: Sequence[XMLElement],
+        area: InterestArea | None = None,
+    ) -> CollectionRef:
+        """Store a named collection locally and describe it in the catalog."""
+        path = name if name.startswith("/") else f"/{name}"
+        self.collections[path] = list(items)
+        self.collection_areas[path] = area or self.interest_area
+        reference = CollectionRef(url=self.address, path=path, name=name, cardinality=len(items))
+        self.catalog.register_server(self.server_entry())
+        return reference
+
+    def collection_items(self, name: str) -> list[XMLElement]:
+        """Return the items of a local collection."""
+        path = name if name.startswith("/") else f"/{name}"
+        try:
+            return self.collections[path]
+        except KeyError:
+            raise PeerError(f"{self.address}: no local collection {name!r}") from None
+
+    def publish_named_resource(self, urn_name: str, collection_name: str) -> None:
+        """Expose a local collection under an application URN name."""
+        path = collection_name if collection_name.startswith("/") else f"/{collection_name}"
+        if path not in self.collections:
+            raise PeerError(f"{self.address}: no local collection {collection_name!r}")
+        entry = NamedResourceEntry(
+            name=urn_name,
+            collections=[CollectionRef(self.address, path, collection_name)],
+            area=self.collection_areas.get(path),
+        )
+        self.catalog.register_named_resource(entry)
+
+    def announce_statement(self, statement: IntensionalStatement) -> None:
+        """Adopt an intensional statement this peer will announce on registration."""
+        self.statements.append(statement)
+        self.catalog.register_statement(statement)
+
+    def server_entry(self) -> ServerEntry:
+        """The catalog entry describing this peer."""
+        role = self._primary_role()
+        collections = [
+            CollectionRef(self.address, path, path.lstrip("/"), len(items))
+            for path, items in sorted(self.collections.items())
+        ]
+        return ServerEntry(
+            address=self.address,
+            role=role,
+            area=self.interest_area,
+            authoritative=self.authoritative,
+            collections=collections if role is ServerRole.BASE else [],
+        )
+
+    def _primary_role(self) -> ServerRole:
+        for role in (ServerRole.META_INDEX, ServerRole.INDEX, ServerRole.BASE, ServerRole.CLIENT):
+            if role in self.roles:
+                return role
+        return ServerRole.CLIENT
+
+    # ------------------------------------------------------------------ #
+    # Registration (§3.3): joining the distributed catalog
+    # ------------------------------------------------------------------ #
+
+    def register_with(self, server_address: str) -> None:
+        """Push this peer's existence to an index / meta-index server."""
+        payload = RegistrationPayload(
+            entry=self.server_entry(),
+            statements=list(self.statements),
+            named_resources=list(self.catalog.named_resources.values()),
+        )
+        self.send(server_address, "register", payload, size_bytes=512)
+
+    def learn_about(self, entry: ServerEntry) -> None:
+        """Record another server in the local catalog (out-of-band discovery)."""
+        self.catalog.register_server(entry)
+        if entry.role in (ServerRole.INDEX, ServerRole.META_INDEX):
+            self.cache.remember(entry.area, entry.address, entry.role.value)
+
+    # ------------------------------------------------------------------ #
+    # Client behaviour: issuing queries and receiving results
+    # ------------------------------------------------------------------ #
+
+    def issue_query(
+        self,
+        plan: QueryPlan,
+        preferences: QueryPreferences | None = None,
+        expected_answers: int | None = None,
+        query_id: str | None = None,
+    ) -> MutantQueryPlan:
+        """Create an MQP for ``plan`` and start processing it at this peer."""
+        self._require_network()
+        mqp = MutantQueryPlan(
+            plan=plan.copy(),
+            preferences=preferences or QueryPreferences(),
+            issued_at=self.now,
+        )
+        if query_id is not None:
+            mqp.query_id = query_id
+        trace = self.network.metrics.trace(mqp.query_id)  # type: ignore[union-attr]
+        trace.issued_at = self.now
+        trace.expected_answers = expected_answers
+        self._process_and_act(mqp)
+        return mqp
+
+    def result_for(self, query_id: str) -> QueryResult | None:
+        """Return the result received for a query, if any."""
+        return self.results.get(query_id)
+
+    # ------------------------------------------------------------------ #
+    # Message handling
+    # ------------------------------------------------------------------ #
+
+    def handle_message(self, message: Message) -> None:
+        if message.kind == "mqp":
+            self._handle_mqp(message)
+        elif message.kind in ("result", "partial-result"):
+            self._handle_result(message)
+        elif message.kind == "register":
+            self._handle_register(message)
+        elif message.kind == "register-ack":
+            self._handle_register_ack(message)
+        else:
+            raise PeerError(f"{self.address}: unknown message kind {message.kind!r}")
+
+    # -- MQP handling --------------------------------------------------------- #
+
+    def _handle_mqp(self, message: Message) -> None:
+        mqp = MutantQueryPlan.deserialize(message.payload)
+        self._process_and_act(mqp)
+
+    def _process_and_act(self, mqp: MutantQueryPlan) -> None:
+        self.plans_processed += 1
+        trace = self.network.metrics.trace(mqp.query_id)  # type: ignore[union-attr]
+        trace.visited.append(self.address)
+        result = self.processor.process(mqp, now=self.now)
+        self.processor.learn_from(mqp)
+        self._act_on(result)
+
+    def _act_on(self, result: ProcessingResult) -> None:
+        mqp = result.mqp
+        trace = self.network.metrics.trace(mqp.query_id)  # type: ignore[union-attr]
+
+        if result.action is ProcessingAction.DELIVER:
+            self._deliver(mqp, partial=False)
+        elif result.action is ProcessingAction.DELIVER_PARTIAL:
+            self._deliver(mqp, partial=True)
+        elif result.action is ProcessingAction.FORWARD:
+            assert result.next_hop is not None
+            self.plans_forwarded += 1
+            payload = mqp.serialize()
+            sent = self.send(result.next_hop, "mqp", payload, size_bytes=len(payload))
+            trace.messages += 1
+            trace.bytes += sent.size_bytes
+        else:  # STUCK: deliver whatever partial answer exists rather than dropping
+            self.plans_stuck += 1
+            self._deliver(mqp, partial=True)
+
+    def _deliver(self, mqp: MutantQueryPlan, partial: bool) -> None:
+        target = mqp.target or self.address
+        mqp.provenance.add(self.address, ProvenanceAction.DELIVERED, self.now, detail=target)
+        items = self._extract_result_items(mqp, partial)
+        collection = XMLElement("result", {"query-id": mqp.query_id}, [item.copy() for item in items])
+        payload = serialize_xml(collection)
+        kind = "partial-result" if partial else "result"
+        envelope = {
+            "document": payload,
+            "query_id": mqp.query_id,
+            "partial": partial,
+            "hops": mqp.provenance.hop_count(),
+            "staleness": mqp.provenance.max_staleness(),
+        }
+        trace = self.network.metrics.trace(mqp.query_id)  # type: ignore[union-attr]
+        if target == self.address:
+            self._record_result(envelope)
+            return
+        sent = self.send(target, kind, envelope, size_bytes=len(payload))
+        trace.messages += 1
+        trace.bytes += sent.size_bytes
+
+    @staticmethod
+    def _extract_result_items(mqp: MutantQueryPlan, partial: bool) -> list[XMLElement]:
+        if mqp.is_fully_evaluated():
+            return list(mqp.plan.result().children)
+        if not partial:
+            return []
+        items: list[XMLElement] = []
+        for leaf in mqp.plan.verbatim_leaves():
+            items.extend(leaf.items)
+        return items
+
+    def _handle_result(self, message: Message) -> None:
+        self._record_result(message.payload)
+
+    def _record_result(self, envelope: dict) -> None:
+        document = parse_xml(envelope["document"])
+        query_id = envelope["query_id"]
+        result = QueryResult(
+            query_id=query_id,
+            items=list(document.children),
+            partial=bool(envelope.get("partial", False)),
+            received_at=self.now,
+            provenance_hops=int(envelope.get("hops", 0)),
+            max_staleness_minutes=float(envelope.get("staleness", 0.0)),
+        )
+        self.results[query_id] = result
+        trace = self.network.metrics.trace(query_id)  # type: ignore[union-attr]
+        trace.completed_at = self.now
+        trace.answers = result.count
+
+    # -- registration handling --------------------------------------------------- #
+
+    def _handle_register(self, message: Message) -> None:
+        payload: RegistrationPayload = message.payload
+        entry = payload.entry
+        if not self._accepts_registration(entry):
+            return
+        self.catalog.register_server(entry)
+        for statement in payload.statements:
+            self.catalog.register_statement(statement)
+        for named in payload.named_resources:
+            self.catalog.register_named_resource(named)
+        acknowledgement = self.send(
+            message.sender, "register-ack", self.server_entry(), size_bytes=256
+        )
+        del acknowledgement  # traffic is accounted for by the network metrics
+
+    def _accepts_registration(self, entry: ServerEntry) -> bool:
+        if not ({ServerRole.INDEX, ServerRole.META_INDEX} & self.roles):
+            return False
+        return self.interest_area.overlaps(entry.area)
+
+    def _handle_register_ack(self, message: Message) -> None:
+        entry: ServerEntry = message.payload
+        self.learn_about(entry)
+
+    # ------------------------------------------------------------------ #
+
+    def __repr__(self) -> str:
+        roles = ",".join(sorted(role.value for role in self.roles))
+        return f"QueryPeer({self.address!r}, roles=[{roles}], area={self.interest_area})"

@@ -1,0 +1,6 @@
+"""Completeness, currency, and latency tradeoff planning (paper §4.3)."""
+
+from ..mqp.plan import QueryPreferences
+from .tradeoff import TradeoffOption, TradeoffPlanner
+
+__all__ = ["QueryPreferences", "TradeoffOption", "TradeoffPlanner"]

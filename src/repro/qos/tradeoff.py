@@ -1,0 +1,151 @@
+"""Completeness / currency / latency tradeoffs (paper §4.3).
+
+"A user may be willing to sacrifice completeness for a fast answer, or
+prefer completeness to currency in a query with a fixed time budget ...
+Our initial inclination is to start with something simple: a query carries
+a target evaluation time plus a binary preference for complete versus
+current answers."
+
+The :class:`TradeoffPlanner` turns a catalog :class:`Binding` into explicit
+options, each with a predicted latency (proportional to the number of
+servers that must be visited), a staleness bound (from delay-annotated
+intensional statements), and a completeness estimate (1.0 for every full
+alternative; below 1.0 only for the truncated options generated when no
+full alternative fits the time budget).  ``choose`` then applies the
+paper's simple preference scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..catalog.binding import Binding, BindingAlternative
+from ..errors import QoSError
+from ..mqp.plan import QueryPreferences
+
+__all__ = ["TradeoffOption", "TradeoffPlanner"]
+
+
+@dataclass(frozen=True)
+class TradeoffOption:
+    """One candidate way of answering the query."""
+
+    alternative: BindingAlternative
+    predicted_latency_ms: float
+    staleness_minutes: float
+    completeness: float
+    description: str = ""
+
+    @property
+    def is_current(self) -> bool:
+        """True when the option uses no stale replicas."""
+        return self.staleness_minutes == 0.0
+
+    @property
+    def is_complete(self) -> bool:
+        """True when the option contacts enough sources for a complete answer."""
+        return self.completeness >= 1.0
+
+
+class TradeoffPlanner:
+    """Generates and ranks tradeoff options for a binding."""
+
+    def __init__(
+        self,
+        per_server_latency_ms: float = 60.0,
+        base_latency_ms: float = 40.0,
+    ) -> None:
+        if per_server_latency_ms <= 0:
+            raise QoSError("per_server_latency_ms must be positive")
+        self.per_server_latency_ms = per_server_latency_ms
+        self.base_latency_ms = base_latency_ms
+
+    # -- option generation ---------------------------------------------------------- #
+
+    def predicted_latency(self, server_count: int) -> float:
+        """Latency model: a fixed overhead plus a per-server visit cost.
+
+        MQP evaluation visits servers sequentially (the plan travels), so
+        latency grows linearly with the number of servers an alternative
+        contacts — exactly the §4.3 observation that the complete+current
+        binding "will likely be longer ... because of the need to visit two
+        sites rather than one".
+        """
+        return self.base_latency_ms + self.per_server_latency_ms * server_count
+
+    def options(self, binding: Binding, include_partial: bool = True) -> list[TradeoffOption]:
+        """All options: every full alternative, plus truncated partial options."""
+        options = [
+            TradeoffOption(
+                alternative=alternative,
+                predicted_latency_ms=self.predicted_latency(alternative.server_count),
+                staleness_minutes=alternative.max_delay_minutes,
+                completeness=1.0,
+                description=alternative.description,
+            )
+            for alternative in binding.alternatives
+        ]
+        if include_partial:
+            options.extend(self._partial_options(binding.default))
+        return options
+
+    def _partial_options(self, default: BindingAlternative) -> list[TradeoffOption]:
+        """Truncations of the default alternative: fewer servers, lower completeness."""
+        servers = default.servers
+        total = len(servers)
+        options: list[TradeoffOption] = []
+        for keep in range(1, total):
+            kept_servers = set(servers[:keep])
+            sources = [source for source in default.sources if source.server in kept_servers]
+            truncated = BindingAlternative(
+                sources,
+                description=f"partial: first {keep} of {total} servers",
+            )
+            options.append(
+                TradeoffOption(
+                    alternative=truncated,
+                    predicted_latency_ms=self.predicted_latency(keep),
+                    staleness_minutes=truncated.max_delay_minutes,
+                    completeness=keep / total,
+                    description=truncated.description,
+                )
+            )
+        return options
+
+    # -- choice under preferences -------------------------------------------------------- #
+
+    def choose(self, binding: Binding, preferences: QueryPreferences) -> TradeoffOption:
+        """Apply the §4.3 scheme: fit the budget, then apply the binary preference.
+
+        Within budget, ``complete`` prefers (completeness, currency, speed)
+        and ``current`` prefers (currency, completeness, speed).  When no
+        option fits the budget, the fastest option is returned — some
+        answer beats no answer, mirroring the paper's "users have learned
+        not to expect [absolute guarantees]".
+        """
+        options = self.options(binding)
+        budget = preferences.target_time_ms
+        in_budget = [
+            option for option in options if budget is None or option.predicted_latency_ms <= budget
+        ]
+        if not in_budget:
+            return min(options, key=lambda option: option.predicted_latency_ms)
+        if preferences.prefer == "current":
+            key = lambda option: (  # noqa: E731 - small local ordering
+                option.staleness_minutes,
+                -option.completeness,
+                option.predicted_latency_ms,
+            )
+        elif preferences.prefer == "fast":
+            key = lambda option: (  # noqa: E731
+                option.predicted_latency_ms,
+                -option.completeness,
+                option.staleness_minutes,
+            )
+        else:  # complete
+            key = lambda option: (  # noqa: E731
+                -option.completeness,
+                option.staleness_minutes,
+                option.predicted_latency_ms,
+            )
+        return min(in_budget, key=key)

@@ -1,0 +1,20 @@
+"""Query routing strategies: catalog-driven MQP routing plus the baselines.
+
+The paper's own routing is implemented by the catalog / peer machinery
+(:mod:`repro.catalog`, :mod:`repro.peers`); this package holds the
+comparison baselines: Gnutella-style broadcast, Napster-style central
+indexing, and Crespo & Garcia-Molina routing indices.
+"""
+
+from .gnutella import GnutellaHit, GnutellaPeer, GnutellaQuery
+from .napster import NapsterIndexServer, NapsterPeer
+from .routing_index import RoutingIndexPeer
+
+__all__ = [
+    "GnutellaPeer",
+    "GnutellaQuery",
+    "GnutellaHit",
+    "NapsterIndexServer",
+    "NapsterPeer",
+    "RoutingIndexPeer",
+]

@@ -1,0 +1,156 @@
+"""The "Napster" (hybrid) baseline: a centralized index server (paper §1).
+
+"A centralized group of servers indexes filenames, and all queries must go
+through them."  Here a single :class:`NapsterIndexServer` indexes every
+published item's interest cell.  Clients query the central server, receive
+the addresses of peers holding matching items, and then fetch the items
+directly from those peers.  The baseline makes measurable the paper's
+claim that "centralized index servers don't scale with the number of
+clients" — all query traffic concentrates on one node — while recall stays
+perfect as long as the central index is reachable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..namespace import InterestArea, InterestCell
+from ..network import Message, NetworkNode
+from ..xmlmodel import XMLElement, serialize_xml
+
+__all__ = ["NapsterIndexServer", "NapsterPeer"]
+
+_query_counter = itertools.count(1)
+
+
+@dataclass
+class _IndexRecord:
+    """One published collection: who has it and how it is categorized."""
+
+    owner: str
+    cell: InterestCell
+    count: int
+
+
+@dataclass
+class _FetchRequest:
+    query_id: str
+    area: InterestArea
+
+
+class NapsterIndexServer(NetworkNode):
+    """The central index: receives publications, answers lookups."""
+
+    def __init__(self, address: str) -> None:
+        super().__init__(address)
+        self.records: list[_IndexRecord] = []
+        self.lookups_served = 0
+
+    def handle_message(self, message: Message) -> None:
+        if message.kind == "n-publish":
+            record: _IndexRecord = message.payload
+            self.records.append(record)
+        elif message.kind == "n-lookup":
+            self._handle_lookup(message)
+
+    def _handle_lookup(self, message: Message) -> None:
+        query_id, area = message.payload
+        self.lookups_served += 1
+        owners = sorted(
+            {record.owner for record in self.records if area.covers_cell(record.cell)}
+        )
+        trace = self.network.metrics.trace(query_id)  # type: ignore[union-attr]
+        trace.visited.append(self.address)
+        sent = self.send(message.sender, "n-matches", (query_id, area, owners), size_bytes=64 + 32 * len(owners))
+        trace.messages += 1
+        trace.bytes += sent.size_bytes
+
+
+class NapsterPeer(NetworkNode):
+    """A peer that publishes to, and queries through, the central index."""
+
+    def __init__(self, address: str, index_address: str) -> None:
+        super().__init__(address)
+        self.index_address = index_address
+        self.items: list[tuple[InterestCell, XMLElement]] = []
+        self.results: dict[str, list[XMLElement]] = {}
+        self.pending_fetches: dict[str, int] = {}
+
+    # -- publishing --------------------------------------------------------------- #
+
+    def publish(self, cell: InterestCell, items: Sequence[XMLElement]) -> None:
+        """Store items locally and advertise them to the central index."""
+        for item in items:
+            self.items.append((cell, item))
+        record = _IndexRecord(self.address, cell, len(items))
+        self.send(self.index_address, "n-publish", record, size_bytes=128)
+
+    def matching_items(self, area: InterestArea) -> list[XMLElement]:
+        """Local items covered by the query area."""
+        return [item for cell, item in self.items if area.covers_cell(cell)]
+
+    # -- querying ------------------------------------------------------------------ #
+
+    def issue_query(self, area: InterestArea, query_id: str | None = None) -> str:
+        """Look up matching peers at the central index, then fetch from them."""
+        query_id = query_id or f"nq{next(_query_counter)}"
+        self.results.setdefault(query_id, [])
+        trace = self.network.metrics.trace(query_id)  # type: ignore[union-attr]
+        trace.issued_at = self.now
+        trace.visited.append(self.address)
+        local = self.matching_items(area)
+        if local:
+            self.results[query_id].extend(local)
+            trace.answers += len(local)
+        sent = self.send(self.index_address, "n-lookup", (query_id, area), size_bytes=200)
+        trace.messages += 1
+        trace.bytes += sent.size_bytes
+        return query_id
+
+    def results_for(self, query_id: str) -> list[XMLElement]:
+        """Items fetched so far for a query."""
+        return self.results.get(query_id, [])
+
+    # -- protocol --------------------------------------------------------------------- #
+
+    def handle_message(self, message: Message) -> None:
+        if message.kind == "n-matches":
+            self._handle_matches(message)
+        elif message.kind == "n-fetch":
+            self._handle_fetch(message)
+        elif message.kind == "n-data":
+            self._handle_data(message)
+
+    def _handle_matches(self, message: Message) -> None:
+        query_id, area, owners = message.payload
+        trace = self.network.metrics.trace(query_id)  # type: ignore[union-attr]
+        remote_owners = [owner for owner in owners if owner != self.address]
+        self.pending_fetches[query_id] = len(remote_owners)
+        if not remote_owners:
+            trace.completed_at = self.now
+            return
+        for owner in remote_owners:
+            sent = self.send(owner, "n-fetch", _FetchRequest(query_id, area), size_bytes=160)
+            trace.messages += 1
+            trace.bytes += sent.size_bytes
+
+    def _handle_fetch(self, message: Message) -> None:
+        request: _FetchRequest = message.payload
+        matches = [item.copy() for item in self.matching_items(request.area)]
+        size = sum(len(serialize_xml(item).encode()) for item in matches) + 64
+        trace = self.network.metrics.trace(request.query_id)  # type: ignore[union-attr]
+        trace.visited.append(self.address)
+        sent = self.send(message.sender, "n-data", (request.query_id, matches), size_bytes=size)
+        trace.messages += 1
+        trace.bytes += sent.size_bytes
+
+    def _handle_data(self, message: Message) -> None:
+        query_id, items = message.payload
+        self.results.setdefault(query_id, []).extend(items)
+        trace = self.network.metrics.trace(query_id)  # type: ignore[union-attr]
+        trace.answers += len(items)
+        self.pending_fetches[query_id] = self.pending_fetches.get(query_id, 1) - 1
+        if self.pending_fetches[query_id] <= 0:
+            trace.completed_at = self.now

@@ -1,0 +1,194 @@
+"""The Portland-CDs workload of Figures 3 and 4.
+
+"Suppose we are looking for CDs for $10 or less in the Portland area.
+Sellers publish lists that include CD titles.  Our P2P client has a list of
+our favorite songs, and we can use an online track-listing service, such as
+CDDB or FreeDB, to connect these two resources."
+
+The generator produces: CD items for any number of Portland sellers, a
+track-listing collection mapping CD titles to songs, a favourite-songs
+list, the two URNs of Figure 3, and the exact plan shape of Figure 3
+(select-below-join-below-join with a verbatim favourite-songs leaf).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra import PlanBuilder, QueryPlan
+from ..namespace import InterestArea, MultiHierarchicNamespace, garage_sale_namespace
+from ..xmlmodel import XMLElement, text_element
+from .distributions import make_rng
+
+__all__ = ["CDWorkloadConfig", "CDSeller", "CDWorkload", "FORSALE_URN", "TRACKLIST_URN"]
+
+FORSALE_URN = "urn:ForSale:Portland-CDs"
+TRACKLIST_URN = "urn:CD:TrackListings"
+
+_TITLE_WORDS = [
+    "Blue", "Road", "Night", "Train", "Dream", "River", "Fire", "Moon",
+    "Echo", "Gold", "Silver", "Stone", "Wave", "Dawn", "Rain", "Light",
+]
+_SONG_WORDS = [
+    "Love", "Time", "Heart", "Home", "Sky", "Dance", "Shadow", "Morning",
+    "Ocean", "Wild", "Silent", "Summer", "Winter", "Falling", "Rising", "Lost",
+]
+
+
+@dataclass(frozen=True)
+class CDWorkloadConfig:
+    """Parameters of the CD-shopping scenario."""
+
+    sellers: int = 2
+    cds_per_seller: int = 15
+    songs_per_cd: int = 4
+    favorite_songs: int = 6
+    max_price: float = 10.0
+    seed: int = 17
+
+
+@dataclass
+class CDSeller:
+    """One Portland CD seller with its for-sale items."""
+
+    address: str
+    items: list[XMLElement] = field(default_factory=list)
+
+
+class CDWorkload:
+    """Generates the CD sellers, the track-listing service data, and the plan."""
+
+    def __init__(
+        self,
+        config: CDWorkloadConfig | None = None,
+        namespace: MultiHierarchicNamespace | None = None,
+    ) -> None:
+        self.config = config or CDWorkloadConfig()
+        self.namespace = namespace or garage_sale_namespace()
+        self._rng = make_rng(self.config.seed)
+        self.sellers: list[CDSeller] = []
+        self.track_listings: list[XMLElement] = []
+        self.favorite_songs: list[XMLElement] = []
+        self._generate()
+
+    # -- generation ----------------------------------------------------------------------- #
+
+    def _generate(self) -> None:
+        all_songs: list[str] = []
+        cheap_songs: list[str] = []
+        for seller_index in range(self.config.sellers):
+            seller = CDSeller(address=f"cd-seller{seller_index}:9020")
+            for cd_index in range(self.config.cds_per_seller):
+                title = self._cd_title(seller_index, cd_index)
+                price = round(float(self._rng.uniform(4.0, 25.0)), 2)
+                seller.items.append(
+                    XMLElement(
+                        "item",
+                        {"id": f"{seller.address}-{cd_index}"},
+                        [
+                            text_element("title", title),
+                            text_element("price", price),
+                            text_element("city", "USA/OR/Portland"),
+                            text_element("category", "Music/CDs"),
+                            text_element("seller", seller.address),
+                        ],
+                    )
+                )
+                songs = [self._song_title(seller_index, cd_index, song) for song in range(self.config.songs_per_cd)]
+                all_songs.extend(songs)
+                if price < self.config.max_price:
+                    cheap_songs.extend(songs)
+                self.track_listings.append(
+                    XMLElement(
+                        "CD",
+                        {},
+                        [text_element("title", title)]
+                        + [text_element("song", song) for song in songs],
+                    )
+                )
+            self.sellers.append(seller)
+        self.favorite_songs = [
+            XMLElement("favorite", {}, [text_element("song", song)])
+            for song in self._pick_favorites(all_songs, cheap_songs)
+        ]
+
+    def _pick_favorites(self, all_songs: list[str], cheap_songs: list[str]) -> list[str]:
+        """Pick favourite songs, guaranteeing some fall on affordable CDs.
+
+        Without this, a small random draw can miss every cheap CD and make
+        the Figure 3 query's correct answer empty, which would trivialize
+        the scenario.  Half of the favourites (rounded up) come from songs
+        on CDs below the price limit whenever any exist.
+        """
+        wanted = min(self.config.favorite_songs, len(all_songs))
+        if wanted == 0:
+            return []
+        favorites: list[str] = []
+        if cheap_songs:
+            cheap_count = min(len(cheap_songs), (wanted + 1) // 2)
+            indexes = self._rng.choice(len(cheap_songs), size=cheap_count, replace=False)
+            favorites.extend(cheap_songs[int(index)] for index in sorted(indexes))
+        remaining_pool = [song for song in all_songs if song not in set(favorites)]
+        still_needed = wanted - len(favorites)
+        if still_needed > 0 and remaining_pool:
+            indexes = self._rng.choice(
+                len(remaining_pool), size=min(still_needed, len(remaining_pool)), replace=False
+            )
+            favorites.extend(remaining_pool[int(index)] for index in sorted(indexes))
+        return favorites
+
+    def _cd_title(self, seller_index: int, cd_index: int) -> str:
+        first = _TITLE_WORDS[int(self._rng.integers(len(_TITLE_WORDS)))]
+        second = _TITLE_WORDS[int(self._rng.integers(len(_TITLE_WORDS)))]
+        return f"{first} {second} {seller_index}-{cd_index}"
+
+    def _song_title(self, seller_index: int, cd_index: int, song_index: int) -> str:
+        first = _SONG_WORDS[int(self._rng.integers(len(_SONG_WORDS)))]
+        second = _SONG_WORDS[int(self._rng.integers(len(_SONG_WORDS)))]
+        return f"{first} {second} {seller_index}-{cd_index}-{song_index}"
+
+    # -- scenario pieces ----------------------------------------------------------------------- #
+
+    def portland_cd_area(self) -> InterestArea:
+        """The interest area of the ForSale URN."""
+        return self.namespace.area(["USA/OR/Portland", "Music/CDs"])
+
+    def figure3_plan(self, target: str) -> QueryPlan:
+        """The mutant query plan of Figure 3.
+
+        ``select price < 10`` over the ForSale URN, joined with the
+        track-listing URN on CD title, joined with the verbatim
+        favourite-songs data on song, topped by the Display pseudo-operator.
+        """
+        cheap_cds = PlanBuilder.urn(FORSALE_URN).select(f"price < {self.config.max_price:g}")
+        with_tracklists = cheap_cds.join(
+            PlanBuilder.urn(TRACKLIST_URN), on=("//title", "//CD/title")
+        )
+        with_favorites = with_tracklists.join(
+            PlanBuilder.data(self.favorite_songs, name="favorite-songs"),
+            on=("//song", "//favorite/song"),
+        )
+        return with_favorites.display(target)
+
+    # -- ground truth ------------------------------------------------------------------------------ #
+
+    def cheap_cd_titles(self) -> set[str]:
+        """Titles of CDs under the price limit, across all sellers."""
+        titles: set[str] = set()
+        for seller in self.sellers:
+            for item in seller.items:
+                if float(item.child_text("price") or "inf") < self.config.max_price:
+                    titles.add(item.child_text("title") or "")
+        return titles
+
+    def expected_matches(self) -> set[str]:
+        """CD titles that are cheap *and* contain one of the favourite songs."""
+        favorite = {favorite.child_text("song") for favorite in self.favorite_songs}
+        cheap = self.cheap_cd_titles()
+        matches: set[str] = set()
+        for listing in self.track_listings:
+            title = listing.child_text("title") or ""
+            songs = {song.text for song in listing.find_all("song")}
+            if title in cheap and songs & favorite:
+                matches.add(title)
+        return matches

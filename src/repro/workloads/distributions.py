@@ -1,0 +1,54 @@
+"""Random-distribution helpers shared by the workload generators.
+
+All randomness in the reproduction flows through seeded
+``numpy.random.Generator`` instances so every dataset and query workload is
+exactly reproducible from its parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["zipf_weights", "zipf_choice", "make_rng"]
+
+T = TypeVar("T")
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    """A seeded generator (one per workload object, never shared globally)."""
+    return np.random.default_rng(seed)
+
+
+def zipf_weights(count: int, skew: float = 1.0) -> np.ndarray:
+    """Normalized Zipf weights for ranks ``1..count``.
+
+    ``skew`` of 0 gives a uniform distribution; larger values concentrate
+    probability on the first ranks.  File-sharing-style popularity (a few
+    very popular categories, a long tail) is the regime the paper's
+    locality argument assumes.
+    """
+    if count < 1:
+        raise WorkloadError("zipf_weights needs count >= 1")
+    ranks = np.arange(1, count + 1, dtype=float)
+    weights = ranks ** (-float(skew))
+    return weights / weights.sum()
+
+
+def zipf_choice(
+    rng: np.random.Generator,
+    items: Sequence[T],
+    skew: float = 1.0,
+    size: int | None = None,
+) -> T | list[T]:
+    """Draw from ``items`` with Zipf-distributed popularity over their order."""
+    if not items:
+        raise WorkloadError("cannot draw from an empty sequence")
+    weights = zipf_weights(len(items), skew)
+    indexes = rng.choice(len(items), size=size, p=weights)
+    if size is None:
+        return items[int(indexes)]
+    return [items[int(index)] for index in np.atleast_1d(indexes)]

@@ -1,0 +1,77 @@
+"""Query workload generation over a multi-hierarchic namespace.
+
+Queries in the routing experiments are interest areas (optionally with a
+price predicate).  The generator draws query cells with the same Zipf-skewed
+popularity the data generator uses — the locality assumption of §3.1: "If
+this address is in USA/OR/Portland, most prospective buyers will come from
+Portland, or locations close to Portland in the location hierarchy."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..namespace import CategoryPath, InterestArea, InterestCell, MultiHierarchicNamespace
+from .distributions import make_rng, zipf_choice
+
+__all__ = ["QuerySpec", "QueryWorkload"]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One generated query: its interest area and optional price ceiling."""
+
+    area: InterestArea
+    max_price: float | None = None
+
+    def predicate_text(self) -> str | None:
+        """The textual selection predicate, if the query has one."""
+        if self.max_price is None:
+            return None
+        return f"price < {self.max_price:g}"
+
+
+class QueryWorkload:
+    """Generates interest-area queries with configurable granularity and skew."""
+
+    def __init__(
+        self,
+        namespace: MultiHierarchicNamespace,
+        location_level: int = 3,
+        category_level: int = 1,
+        location_skew: float = 1.1,
+        category_skew: float = 0.9,
+        price_ceiling_range: tuple[float, float] | None = (10.0, 200.0),
+        seed: int = 99,
+    ) -> None:
+        self.namespace = namespace
+        self.location_skew = location_skew
+        self.category_skew = category_skew
+        self.price_ceiling_range = price_ceiling_range
+        self._rng = make_rng(seed)
+        self._locations = self._categories_at(namespace.dimensions[0], location_level)
+        self._categories = self._categories_at(namespace.dimensions[1], category_level)
+
+    @staticmethod
+    def _categories_at(hierarchy, level: int) -> list[CategoryPath]:
+        exact = [category for category in hierarchy.categories() if category.depth == level]
+        if exact:
+            return exact
+        return hierarchy.leaves()
+
+    # -- generation ---------------------------------------------------------------------------- #
+
+    def next_query(self) -> QuerySpec:
+        """Draw one query."""
+        location = zipf_choice(self._rng, self._locations, self.location_skew)
+        category = zipf_choice(self._rng, self._categories, self.category_skew)
+        area = InterestArea([InterestCell((location, category))])
+        max_price = None
+        if self.price_ceiling_range is not None:
+            low, high = self.price_ceiling_range
+            max_price = round(float(self._rng.uniform(low, high)), 2)
+        return QuerySpec(area, max_price)
+
+    def batch(self, count: int) -> list[QuerySpec]:
+        """Draw ``count`` queries."""
+        return [self.next_query() for _ in range(count)]

@@ -1,0 +1,18 @@
+"""XML document model, parser/serializer, and XPath-lite evaluator."""
+
+from .element import XMLElement, element, text_element
+from .parser import parse_xml, serialize_xml, serialized_size
+from .path import PathExpression, evaluate_path, evaluate_path_values, parse_path
+
+__all__ = [
+    "XMLElement",
+    "element",
+    "text_element",
+    "parse_xml",
+    "serialize_xml",
+    "serialized_size",
+    "PathExpression",
+    "parse_path",
+    "evaluate_path",
+    "evaluate_path_values",
+]

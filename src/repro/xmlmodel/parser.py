@@ -1,0 +1,92 @@
+"""Serialization of :class:`~repro.xmlmodel.element.XMLElement` trees.
+
+Mutant query plans travel between peers "encoded in XML" (paper, §2), so
+both directions matter: a server parses an incoming plan into an in-memory
+graph and serializes the mutated plan before forwarding it.  We lean on the
+standard-library ``xml.etree.ElementTree`` for the low-level tokenizing and
+convert to and from our own node type, which keeps the rest of the code base
+independent of ElementTree's quirks (no attribute ordering guarantees, tail
+text, and so on).
+"""
+
+from __future__ import annotations
+
+import io
+import xml.etree.ElementTree as _ET
+from xml.sax.saxutils import escape, quoteattr
+
+from ..errors import XMLParseError
+from .element import XMLElement
+
+__all__ = ["parse_xml", "serialize_xml", "serialized_size"]
+
+
+def parse_xml(document: str) -> XMLElement:
+    """Parse an XML document string into an :class:`XMLElement` tree.
+
+    Raises
+    ------
+    XMLParseError
+        If the document is not well formed, or mixes text and elements in a
+        single node (mixed content is outside our data model).
+    """
+    try:
+        root = _ET.fromstring(document)
+    except _ET.ParseError as exc:
+        raise XMLParseError(f"malformed XML: {exc}") from exc
+    return _convert(root)
+
+
+def _convert(node: _ET.Element) -> XMLElement:
+    children = [_convert(child) for child in node]
+    text = node.text.strip() if node.text and node.text.strip() else None
+    if text is not None and children:
+        raise XMLParseError(
+            f"element <{node.tag}> mixes text and child elements; "
+            "mixed content is not supported"
+        )
+    return XMLElement(node.tag, dict(node.attrib), children, text)
+
+
+def serialize_xml(root: XMLElement, indent: int | None = None) -> str:
+    """Serialize an element tree to an XML string.
+
+    Parameters
+    ----------
+    root:
+        The tree to serialize.
+    indent:
+        When given, pretty-print using this many spaces per nesting level;
+        otherwise produce a compact single-line document.
+    """
+    buffer = io.StringIO()
+    _write(buffer, root, indent, 0)
+    return buffer.getvalue()
+
+
+def _write(buffer: io.StringIO, node: XMLElement, indent: int | None, depth: int) -> None:
+    pad = "" if indent is None else " " * (indent * depth)
+    newline = "" if indent is None else "\n"
+    attrs = "".join(
+        f" {name}={quoteattr(value)}" for name, value in sorted(node.attributes.items())
+    )
+    if not node.children and node.text is None:
+        buffer.write(f"{pad}<{node.tag}{attrs}/>{newline}")
+        return
+    if node.text is not None:
+        buffer.write(f"{pad}<{node.tag}{attrs}>{escape(node.text)}</{node.tag}>{newline}")
+        return
+    buffer.write(f"{pad}<{node.tag}{attrs}>{newline}")
+    for child in node.children:
+        _write(buffer, child, indent, depth + 1)
+    buffer.write(f"{pad}</{node.tag}>{newline}")
+
+
+def serialized_size(root: XMLElement) -> int:
+    """Return the size in bytes of the compact serialization of ``root``.
+
+    The network simulator charges transfer time proportional to message
+    size; partial results accumulated inside a mutant query plan are counted
+    with this function (paper §2: "their size matters").
+    """
+    return len(serialize_xml(root).encode("utf-8"))

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.namespace import garage_sale_namespace, gene_expression_namespace
+from repro.xmlmodel import XMLElement, element, text_element
+
+
+@pytest.fixture()
+def namespace():
+    """The garage-sale Location x Merchandise namespace."""
+    return garage_sale_namespace()
+
+
+@pytest.fixture()
+def gene_namespace():
+    """The Organism x CellType namespace of Figure 1."""
+    return gene_expression_namespace()
+
+
+def make_item(title: str, price: float, city: str = "USA/OR/Portland",
+              category: str = "Music/CDs", seller: str = "seller:9020") -> XMLElement:
+    """Build a garage-sale item bundle."""
+    return element(
+        "item",
+        {"id": f"{seller}-{title}"},
+        text_element("title", title),
+        text_element("price", price),
+        text_element("city", city),
+        text_element("category", category),
+        text_element("seller", seller),
+    )
+
+
+@pytest.fixture()
+def cd_items():
+    """A small collection of CD items with varied prices."""
+    return [
+        make_item("Abbey Road", 8.0),
+        make_item("Kind of Blue", 12.5),
+        make_item("Blue Train", 6.0),
+        make_item("Giant Steps", 15.0),
+        make_item("Green Onions", 9.5),
+    ]
+
+
+@pytest.fixture()
+def furniture_items():
+    """A small collection of furniture items in two cities."""
+    return [
+        make_item("Oak Table", 120.0, category="Furniture/Tables"),
+        make_item("Armchair", 60.0, category="Furniture/Chairs/Armchairs"),
+        make_item("Desk Chair", 45.0, city="USA/WA/Vancouver", category="Furniture/Chairs/OfficeChairs"),
+        make_item("Sofa", 200.0, city="USA/WA/Seattle", category="Furniture/Sofas"),
+    ]

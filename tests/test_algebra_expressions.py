@@ -1,0 +1,119 @@
+"""Tests for predicate expressions and the textual predicate parser."""
+
+import pytest
+
+from repro.algebra import And, Comparison, Literal, Not, Or, PathRef, parse_predicate
+from repro.errors import PlanError
+from repro.xmlmodel import element, text_element
+
+
+@pytest.fixture()
+def cheap_cd():
+    return element(
+        "item",
+        {"id": "1"},
+        text_element("title", "Blue Train"),
+        text_element("price", "6"),
+        text_element("city", "USA/OR/Portland"),
+    )
+
+
+@pytest.fixture()
+def pricey_cd():
+    return element(
+        "item",
+        {"id": "2"},
+        text_element("title", "Boxed Set"),
+        text_element("price", "45"),
+        text_element("city", "USA/WA/Seattle"),
+    )
+
+
+class TestComparison:
+    def test_numeric_less_than(self, cheap_cd, pricey_cd):
+        predicate = Comparison(PathRef("price"), "<", Literal(10))
+        assert predicate.matches(cheap_cd)
+        assert not predicate.matches(pricey_cd)
+
+    def test_string_equality(self, cheap_cd):
+        assert Comparison(PathRef("title"), "=", Literal("Blue Train")).matches(cheap_cd)
+        assert not Comparison(PathRef("title"), "=", Literal("blue train")).matches(cheap_cd)
+
+    def test_contains_is_case_insensitive(self, cheap_cd):
+        assert Comparison(PathRef("title"), "contains", Literal("blue")).matches(cheap_cd)
+        assert Comparison(PathRef("city"), "contains", Literal("USA/OR")).matches(cheap_cd)
+
+    def test_missing_path_is_false(self, cheap_cd):
+        assert not Comparison(PathRef("condition"), "=", Literal("mint")).matches(cheap_cd)
+
+    def test_all_operators(self, cheap_cd):
+        for op, expected in [("=", False), ("!=", True), ("<", True), ("<=", True), (">", False), (">=", False)]:
+            assert Comparison(PathRef("price"), op, Literal(10)).matches(cheap_cd) is expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PlanError):
+            Comparison(PathRef("price"), "~", Literal(10))
+
+
+class TestBooleanConnectives:
+    def test_and_or_not(self, cheap_cd, pricey_cd):
+        cheap = Comparison(PathRef("price"), "<", Literal(10))
+        portland = Comparison(PathRef("city"), "contains", Literal("Portland"))
+        assert And(cheap, portland).matches(cheap_cd)
+        assert not And(cheap, portland).matches(pricey_cd)
+        assert Or(cheap, portland).matches(cheap_cd)
+        assert Not(cheap).matches(pricey_cd)
+
+    def test_and_requires_two_operands(self):
+        with pytest.raises(PlanError):
+            And(Comparison(PathRef("a"), "=", Literal(1)))
+
+    def test_equality_by_text(self):
+        first = parse_predicate("price < 10")
+        second = Comparison(PathRef("price"), "<", Literal(10))
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestPredicateParser:
+    def test_roundtrip_simple(self):
+        predicate = parse_predicate("price < 10")
+        assert parse_predicate(predicate.to_text()) == predicate
+
+    def test_roundtrip_complex(self):
+        text = "(price < 10 and city contains 'Portland') or condition = 'mint'"
+        predicate = parse_predicate(text)
+        assert parse_predicate(predicate.to_text()) == predicate
+
+    def test_parse_string_literal(self, cheap_cd):
+        assert parse_predicate("title = 'Blue Train'").matches(cheap_cd)
+
+    def test_parse_path_with_slash(self, cheap_cd):
+        assert parse_predicate("city contains 'USA/OR/Portland'").matches(cheap_cd)
+
+    def test_parse_descendant_path(self, cheap_cd):
+        assert parse_predicate("//price < 7").matches(cheap_cd)
+
+    def test_parse_not(self, cheap_cd, pricey_cd):
+        predicate = parse_predicate("not (price < 10)")
+        assert predicate.matches(pricey_cd) and not predicate.matches(cheap_cd)
+
+    def test_precedence_and_binds_tighter_than_or(self, cheap_cd):
+        # false and false or true  ==  (false and false) or true
+        predicate = parse_predicate("price > 100 and price < 200 or title contains 'Blue'")
+        assert predicate.matches(cheap_cd)
+
+    def test_float_literal(self, cheap_cd):
+        assert parse_predicate("price <= 6.0").matches(cheap_cd)
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(PlanError):
+            parse_predicate("   ")
+
+    def test_missing_operator_rejected(self):
+        with pytest.raises(PlanError):
+            parse_predicate("price 10")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(PlanError):
+            parse_predicate("(price < 10")

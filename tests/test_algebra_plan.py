@@ -1,0 +1,168 @@
+"""Tests for plan construction, traversal, and sub-plan surgery."""
+
+import pytest
+
+from repro.algebra import (
+    Display,
+    Join,
+    PlanBuilder,
+    QueryPlan,
+    Select,
+    Union,
+    URLRef,
+    URNRef,
+    VerbatimData,
+    parse_predicate,
+)
+from repro.errors import PlanError
+from repro.xmlmodel import element, text_element
+from tests.conftest import make_item
+
+
+class TestConstruction:
+    def test_builder_produces_figure3_shape(self, cd_items):
+        plan = (
+            PlanBuilder.urn("urn:ForSale:Portland-CDs")
+            .select("price < 10")
+            .join(PlanBuilder.urn("urn:CD:TrackListings"), on=("//title", "//CD/title"))
+            .join(PlanBuilder.data(cd_items, name="favorites"), on=("//song", "//song"))
+            .display("129.95.50.105:9020")
+        )
+        assert plan.target == "129.95.50.105:9020"
+        assert len(plan.urn_refs()) == 2
+        assert len(plan.verbatim_leaves()) == 1
+        assert isinstance(plan.root, Display)
+
+    def test_display_only_at_root(self):
+        inner = Display(VerbatimData.from_items([]), "x:1")
+        with pytest.raises(PlanError):
+            QueryPlan(Display(Select(inner, parse_predicate("a = 1")), "y:1"))
+
+    def test_shared_node_instances_rejected(self):
+        leaf = URNRef("urn:X:y")
+        with pytest.raises(PlanError):
+            QueryPlan(Union([leaf, leaf]))
+
+    def test_invalid_root_type(self):
+        with pytest.raises(PlanError):
+            QueryPlan("not a node")  # type: ignore[arg-type]
+
+    def test_leaf_validations(self):
+        with pytest.raises(PlanError):
+            URNRef("ForSale:Portland")  # missing urn: prefix
+        with pytest.raises(PlanError):
+            URLRef("")
+        with pytest.raises(PlanError):
+            Join(URNRef("urn:A:b"), URNRef("urn:C:d"), "x", "y", join_type="cross")
+
+
+class TestTraversal:
+    def test_size_and_iteration(self, cd_items):
+        plan = PlanBuilder.data(cd_items).select("price < 10").display("c:1")
+        assert plan.size() == 3
+        operators = [node.operator for node in plan.iter_nodes()]
+        assert operators == ["display", "select", "data"]
+
+    def test_url_and_urn_discovery(self):
+        plan = (
+            PlanBuilder.url("http://10.1.2.3:9020", "/cds")
+            .union(PlanBuilder.urn("urn:ForSale:Portland-CDs"))
+            .plan()
+        )
+        assert [ref.url for ref in plan.url_refs()] == ["http://10.1.2.3:9020"]
+        assert [ref.urn for ref in plan.urn_refs()] == ["urn:ForSale:Portland-CDs"]
+
+    def test_parent_of(self, cd_items):
+        plan = PlanBuilder.data(cd_items).select("price < 10").display("c:1")
+        select = plan.root.children[0]
+        assert plan.parent_of(select) is plan.root
+        assert plan.parent_of(plan.root) is None
+        with pytest.raises(PlanError):
+            plan.parent_of(VerbatimData.from_items([]))
+
+    def test_copy_is_independent(self, cd_items):
+        plan = PlanBuilder.data(cd_items).select("price < 10").display("c:1")
+        clone = plan.copy()
+        clone.replace_node(clone.root.children[0], VerbatimData.from_items([]))
+        assert plan.size() == 3
+        assert clone.size() == 2
+
+    def test_explain_mentions_operators(self, cd_items):
+        text = PlanBuilder.data(cd_items).select("price < 10").display("c:1").explain()
+        assert "display" in text and "select" in text and "data" in text
+
+
+class TestSurgeryAndEvaluability:
+    def test_substitute_result_reduces_plan(self, cd_items):
+        plan = PlanBuilder.data(cd_items).select("price < 10").display("c:1")
+        select = plan.root.children[0]
+        plan.substitute_result(select, [make_item("Cheap", 5.0)])
+        assert plan.is_fully_evaluated()
+        assert plan.result().children[0].child_text("title") == "Cheap"
+
+    def test_result_raises_when_not_evaluated(self):
+        plan = PlanBuilder.urn("urn:A:b").plan()
+        assert not plan.is_fully_evaluated()
+        with pytest.raises(PlanError):
+            plan.result()
+
+    def test_replace_root(self, cd_items):
+        plan = PlanBuilder.data(cd_items).plan()
+        replacement = VerbatimData.from_items([])
+        plan.replace_node(plan.root, replacement)
+        assert plan.root is replacement
+
+    def test_evaluable_subplans_default_only_verbatim(self, cd_items):
+        plan = (
+            PlanBuilder.data(cd_items)
+            .select("price < 10")
+            .join(PlanBuilder.urn("urn:CD:TrackListings"), on=("//title", "//title"))
+            .display("c:1")
+        )
+        evaluable = plan.evaluable_subplans()
+        assert len(evaluable) == 1
+        assert isinstance(evaluable[0], Select)
+
+    def test_evaluable_subplans_with_available_urls(self, cd_items):
+        plan = (
+            PlanBuilder.url("server:9020", "/cds")
+            .select("price < 10")
+            .display("c:1")
+        )
+        assert plan.evaluable_subplans() == []
+        evaluable = plan.evaluable_subplans(lambda leaf: isinstance(leaf, URLRef))
+        assert len(evaluable) == 1
+
+    def test_conjoint_or_is_never_evaluable(self, cd_items):
+        plan = (
+            PlanBuilder.data(cd_items)
+            .conjoint_or(PlanBuilder.data(cd_items))
+            .select("price < 10")
+            .display("c:1")
+        )
+        assert plan.evaluable_subplans() == []
+
+    def test_maximal_subplan_reported_once(self, cd_items):
+        plan = PlanBuilder.data(cd_items).select("price < 10").select("price > 2").display("c:1")
+        evaluable = plan.evaluable_subplans()
+        assert len(evaluable) == 1
+        assert evaluable[0] is plan.root.children[0]
+
+
+class TestNodeEquality:
+    def test_structural_equality_ignores_ids(self):
+        first = Select(URNRef("urn:A:b"), parse_predicate("price < 10"))
+        second = Select(URNRef("urn:A:b"), parse_predicate("price < 10"))
+        assert first == second and hash(first) == hash(second)
+        assert first.node_id != second.node_id
+
+    def test_annotations_do_not_affect_equality(self):
+        first = URNRef("urn:A:b")
+        second = URNRef("urn:A:b")
+        first.annotate("stats.cardinality", 100)
+        assert first == second
+
+    def test_copy_preserves_annotations(self):
+        leaf = URNRef("urn:A:b")
+        leaf.annotate("stats.cardinality", 5)
+        assert leaf.copy().annotations == {"stats.cardinality": "5"}

@@ -1,0 +1,137 @@
+"""Tests for the XML wire format of query plans (MQP encoding)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import (
+    PlanBuilder,
+    QueryPlan,
+    parse_plan,
+    plan_from_xml,
+    plan_to_xml,
+    plan_wire_size,
+    serialize_plan,
+)
+from repro.errors import PlanSerializationError
+from repro.xmlmodel import XMLElement, parse_xml
+from tests.conftest import make_item
+
+
+def build_reference_plan(cd_items):
+    return (
+        PlanBuilder.urn("urn:ForSale:Portland-CDs")
+        .select("price < 10")
+        .join(PlanBuilder.url("http://10.2.3.4:9020", "/cds"), on=("//title", "//CD/title"))
+        .union(PlanBuilder.data(cd_items, name="favorites"))
+        .top_n(5, "//price", descending=False)
+        .display("129.95.50.105:9020")
+    )
+
+
+class TestRoundTrip:
+    def test_reference_plan_roundtrip(self, cd_items):
+        plan = build_reference_plan(cd_items)
+        document = serialize_plan(plan)
+        restored = parse_plan(document)
+        assert restored.root == plan.root
+        assert restored.target == plan.target
+
+    def test_roundtrip_preserves_annotations(self, cd_items):
+        plan = PlanBuilder.data(cd_items, name="cds").select("price < 10").display("c:1")
+        plan.root.children[0].annotate("stats.cardinality", 42)
+        restored = parse_plan(serialize_plan(plan))
+        assert restored.root.children[0].annotations["stats.cardinality"] == "42"
+
+    def test_roundtrip_every_operator(self, cd_items):
+        plan = (
+            PlanBuilder.data(cd_items, name="cds")
+            .select("price < 10")
+            .project([("title", "title"), ("price", "price")])
+            .order_by("price")
+            .top_n(3, "price", descending=False)
+            .display("c:1")
+        )
+        assert parse_plan(serialize_plan(plan)).root == plan.root
+
+    def test_roundtrip_aggregate_and_difference(self, cd_items):
+        plan = (
+            PlanBuilder.data(cd_items)
+            .difference(PlanBuilder.data(cd_items[:1]), key_path="title")
+            .aggregate("count")
+            .display("c:1")
+        )
+        assert parse_plan(serialize_plan(plan)).root == plan.root
+
+    def test_roundtrip_conjoint_or(self, cd_items):
+        plan = (
+            PlanBuilder.url("r:9020", "/a")
+            .conjoint_or(PlanBuilder.url("s:9020", "/a"))
+            .display("c:1")
+        )
+        assert parse_plan(serialize_plan(plan)).root == plan.root
+
+    def test_verbatim_data_contents_survive(self, cd_items):
+        plan = PlanBuilder.data(cd_items, name="cds").display("c:1")
+        restored = parse_plan(serialize_plan(plan))
+        titles = [item.child_text("title") for item in restored.verbatim_leaves()[0].items]
+        assert titles == [item.child_text("title") for item in cd_items]
+
+    def test_pretty_printed_form_parses(self, cd_items):
+        plan = build_reference_plan(cd_items)
+        assert parse_plan(serialize_plan(plan, indent=2)).root == plan.root
+
+
+class TestWireSize:
+    def test_wire_size_grows_with_embedded_data(self, cd_items):
+        empty = PlanBuilder.urn("urn:ForSale:Portland-CDs").display("c:1")
+        loaded = PlanBuilder.data(cd_items, name="cds").display("c:1")
+        assert plan_wire_size(loaded) > plan_wire_size(empty)
+
+    def test_wire_size_matches_serialization(self, cd_items):
+        plan = build_reference_plan(cd_items)
+        assert plan_wire_size(plan) == len(serialize_plan(plan).encode("utf-8"))
+
+
+class TestErrors:
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PlanSerializationError):
+            plan_from_xml(parse_xml("<mqp><teleport target='x'/></mqp>"))
+
+    def test_missing_required_attribute(self):
+        with pytest.raises(PlanSerializationError):
+            parse_plan("<mqp><select><urn name='urn:A:b'/></select></mqp>")
+
+    def test_join_arity_checked(self):
+        with pytest.raises(PlanSerializationError):
+            parse_plan(
+                "<mqp><join left-path='a' right-path='b'><urn name='urn:A:b'/></join></mqp>"
+            )
+
+    def test_wrapper_element_required(self):
+        with pytest.raises(PlanSerializationError):
+            plan_from_xml(parse_xml("<urn name='urn:A:b'/>"))
+
+    def test_data_without_collection_rejected(self):
+        with pytest.raises(PlanSerializationError):
+            parse_plan("<mqp><data name='x'/></mqp>")
+
+
+class TestPropertyBasedRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        prices=st.lists(st.integers(min_value=1, max_value=500), min_size=0, max_size=8),
+        threshold=st.integers(min_value=1, max_value=500),
+        target=st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Nd")), min_size=1, max_size=12
+        ),
+    )
+    def test_select_over_data_roundtrip(self, prices, threshold, target):
+        items = [make_item(f"cd-{index}", price) for index, price in enumerate(prices)]
+        plan = (
+            PlanBuilder.data(items, name="cds")
+            .select(f"price < {threshold}")
+            .display(f"{target}:9020")
+        )
+        restored = parse_plan(serialize_plan(plan))
+        assert restored.root == plan.root
+        assert restored.target == plan.target

@@ -1,0 +1,181 @@
+"""Tests for the coordinator baseline, semi-joins, QoS planning, and workloads."""
+
+import pytest
+
+from repro.algebra import PlanBuilder
+from repro.catalog import Binder, Catalog, CollectionRef, IntensionalStatement, ServerEntry, ServerRole
+from repro.distributed import (
+    CoordinatorClient,
+    CoordinatorServer,
+    SubordinateServer,
+    estimate_full_ship,
+    estimate_semijoin,
+)
+from repro.mqp import QueryPreferences
+from repro.network import Network
+from repro.qos import TradeoffPlanner
+from repro.workloads import (
+    CDWorkload,
+    CDWorkloadConfig,
+    GarageSaleConfig,
+    GarageSaleWorkload,
+    GeneExpressionConfig,
+    GeneExpressionWorkload,
+    QueryWorkload,
+    zipf_weights,
+)
+from repro.xmlmodel import element, text_element
+from tests.conftest import make_item
+
+
+class TestCoordinator:
+    def test_coordinator_executes_distributed_selection_and_join(self):
+        network = Network()
+        coordinator = CoordinatorServer("coord:1")
+        network.register(coordinator)
+        seller = SubordinateServer("seller:1")
+        seller.add_collection("/cds", [make_item("Abbey Road", 8), make_item("Boxed Set", 40)])
+        network.register(seller)
+        listings = SubordinateServer("tracklist:1")
+        listings.add_collection(
+            "/tl", [element("CD", {}, text_element("title", "Abbey Road"), text_element("song", "s1"))]
+        )
+        network.register(listings)
+        client = CoordinatorClient("client:1", "coord:1")
+        network.register(client)
+
+        plan = (
+            PlanBuilder.url("seller:1", "/cds")
+            .select("price < 10")
+            .join(PlanBuilder.url("tracklist:1", "/tl"), on=("//title", "//CD/title"))
+            .display("client:1")
+        )
+        query_id = client.issue_query(plan)
+        network.run_until_idle()
+        results = client.results_for(query_id)
+        assert len(results) == 1
+        assert coordinator.queries_completed == 1
+        assert network.metrics.messages_by_kind["subquery"] == 2
+
+    def test_coordinator_handles_fully_local_plan(self, cd_items):
+        network = Network()
+        coordinator = CoordinatorServer("coord:1")
+        client = CoordinatorClient("client:1", "coord:1")
+        network.register(coordinator)
+        network.register(client)
+        plan = PlanBuilder.data(cd_items, name="cds").select("price < 10").display("client:1")
+        query_id = client.issue_query(plan)
+        network.run_until_idle()
+        assert len(client.results_for(query_id)) == 3
+
+
+class TestSemiJoin:
+    def test_semijoin_cheaper_for_selective_join(self):
+        left = [make_item(f"t{i}", 5) for i in range(3)]
+        right = [make_item(f"t{i}", 9) for i in range(100)]
+        estimate = estimate_semijoin(left, right, "//title", "//title")
+        assert estimate.matching_items == 3
+        assert estimate.total_bytes < estimate_full_ship(right)
+
+    def test_semijoin_degenerates_when_everything_matches(self):
+        left = [make_item(f"t{i}", 5) for i in range(50)]
+        right = [make_item(f"t{i}", 9) for i in range(50)]
+        estimate = estimate_semijoin(left, right, "//title", "//title")
+        assert estimate.matching_items == 50
+        assert estimate.total_bytes > estimate_full_ship(right) * 0.9
+
+
+class TestTradeoffPlanner:
+    @pytest.fixture()
+    def binding(self, namespace):
+        portland = namespace.area(["USA/OR/Portland", "*"])
+        catalog = Catalog("M")
+        for address in ("R:9020", "S:9020"):
+            catalog.register_server(
+                ServerEntry(address, ServerRole.BASE, portland, collections=[CollectionRef(address, "/data")])
+            )
+        catalog.register_statement(
+            IntensionalStatement.parse(
+                "base[(USA.OR.Portland,*)]@R:9020 >= base[(USA.OR.Portland,*)]@S:9020{30}"
+            )
+        )
+        return Binder(catalog).bind_area(namespace.area(["USA/OR/Portland", "Music/CDs"]))
+
+    def test_options_cover_the_currency_latency_tradeoff(self, binding):
+        planner = TradeoffPlanner(per_server_latency_ms=60, base_latency_ms=40)
+        options = planner.options(binding)
+        complete_current = [o for o in options if o.is_complete and o.is_current]
+        fast_stale = [o for o in options if o.is_complete and o.staleness_minutes == 30]
+        assert complete_current and fast_stale
+        assert min(o.predicted_latency_ms for o in fast_stale) < min(
+            o.predicted_latency_ms for o in complete_current
+        )
+
+    def test_choose_current_vs_fast(self, binding):
+        planner = TradeoffPlanner(per_server_latency_ms=60, base_latency_ms=40)
+        current = planner.choose(binding, QueryPreferences(prefer="current"))
+        assert current.staleness_minutes == 0 and current.is_complete
+        fast = planner.choose(binding, QueryPreferences(prefer="fast", target_time_ms=500))
+        assert fast.predicted_latency_ms <= current.predicted_latency_ms
+
+    def test_tight_budget_sacrifices_completeness_or_currency(self, binding):
+        planner = TradeoffPlanner(per_server_latency_ms=60, base_latency_ms=40)
+        # Budget only allows visiting one server.
+        option = planner.choose(binding, QueryPreferences(prefer="complete", target_time_ms=110))
+        assert option.alternative.server_count == 1
+
+    def test_impossible_budget_returns_fastest(self, binding):
+        planner = TradeoffPlanner(per_server_latency_ms=60, base_latency_ms=40)
+        option = planner.choose(binding, QueryPreferences(prefer="complete", target_time_ms=1))
+        assert option.predicted_latency_ms == min(
+            candidate.predicted_latency_ms for candidate in planner.options(binding)
+        )
+
+
+class TestWorkloads:
+    def test_zipf_weights_sum_to_one_and_decrease(self):
+        weights = zipf_weights(10, skew=1.0)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(weights[i] >= weights[i + 1] for i in range(9))
+
+    def test_garage_sale_determinism_and_locality(self):
+        first = GarageSaleWorkload(GarageSaleConfig(sellers=10, seed=3))
+        second = GarageSaleWorkload(GarageSaleConfig(sellers=10, seed=3))
+        assert [s.address for s in first.sellers] == [s.address for s in second.sellers]
+        assert len(first.all_items()) == len(second.all_items())
+        for seller in first.sellers:
+            for item in seller.items:
+                assert item.child_text("city") == str(seller.city)
+                assert item.child_text("category").startswith(str(seller.category))
+
+    def test_garage_sale_ground_truth(self, namespace):
+        workload = GarageSaleWorkload(GarageSaleConfig(sellers=10, seed=3))
+        area = workload.namespace.top_area()
+        assert workload.ground_truth_count(area) == len(workload.all_items())
+        cheap = workload.ground_truth_count(area, max_price=50)
+        assert 0 < cheap <= len(workload.all_items())
+
+    def test_gene_expression_figure1_groups(self):
+        workload = GeneExpressionWorkload(GeneExpressionConfig(records_per_cell=2))
+        assert len(workload.repositories) == 3
+        query = workload.mammalian_cardiac_query_area()
+        relevant = {repo.name for repo in workload.relevant_repositories(query)}
+        irrelevant = {repo.name for repo in workload.irrelevant_repositories(query)}
+        assert relevant == {"Rodent connective/muscle lab", "Human atlas project"}
+        assert irrelevant == {"Fly neural lab"}
+        assert len(workload.matching_records(query)) > 0
+
+    def test_cd_workload_has_answerable_query(self):
+        workload = CDWorkload(CDWorkloadConfig(sellers=2, seed=5))
+        assert len(workload.expected_matches()) >= 1
+        plan = workload.figure3_plan("client:9020")
+        assert plan.target == "client:9020"
+        assert len(plan.urn_refs()) == 2
+
+    def test_query_workload_batch(self, namespace):
+        generator = QueryWorkload(namespace, seed=1)
+        queries = generator.batch(20)
+        assert len(queries) == 20
+        assert all(query.area for query in queries)
+        assert any(query.max_price is not None for query in queries)
+        assert QueryWorkload(namespace, seed=1).batch(20)[0].area == queries[0].area

@@ -1,0 +1,113 @@
+"""Integration tests for the experiment harness (cross-strategy comparisons)."""
+
+import pytest
+
+from repro.harness import (
+    build_mqp_scenario,
+    compare_routing_strategies,
+    format_series,
+    format_summary,
+    format_table,
+    query_plan_for,
+    run_cd_query_coordinator,
+    run_cd_query_mqp,
+    run_mqp_queries,
+)
+from repro.workloads import (
+    CDWorkload,
+    CDWorkloadConfig,
+    GarageSaleConfig,
+    GarageSaleWorkload,
+    QuerySpec,
+    QueryWorkload,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return GarageSaleWorkload(GarageSaleConfig(sellers=10, seed=2))
+
+
+@pytest.fixture(scope="module")
+def queries(workload):
+    return QueryWorkload(workload.namespace, seed=7).batch(3)
+
+
+class TestMQPScenario:
+    def test_scenario_structure(self, workload):
+        scenario = build_mqp_scenario(workload)
+        assert len(scenario.base_servers) == len(workload.sellers)
+        assert scenario.meta_index is not None
+        assert scenario.registrations >= len(workload.sellers)
+
+    def test_query_plan_for_builds_selection(self, workload):
+        query = QuerySpec(workload.namespace.area(["USA/OR/Portland", "Furniture"]), max_price=50)
+        plan = query_plan_for(query, "client:9020")
+        assert plan.target == "client:9020"
+        assert len(plan.urn_refs()) == 1
+        assert "price" in plan.explain()
+
+    def test_run_mqp_queries_achieves_full_recall(self, workload, queries):
+        scenario = build_mqp_scenario(workload)
+        summary = run_mqp_queries(scenario, queries)
+        assert summary["queries"] == len(queries)
+        assert summary["mean_recall"] == pytest.approx(1.0)
+        assert summary["messages"] > 0
+
+
+class TestStrategyComparison:
+    @pytest.fixture(scope="class")
+    def rows(self, workload, queries):
+        return compare_routing_strategies(workload, queries, gnutella_horizon=3)
+
+    def test_all_strategies_present(self, rows):
+        strategies = {row["strategy"] for row in rows}
+        assert strategies == {"mqp-catalog", "gnutella(h=3)", "napster-central", "routing-index"}
+
+    def test_catalog_routing_uses_fewer_messages_than_broadcast(self, rows):
+        by_strategy = {row["strategy"]: row for row in rows}
+        assert by_strategy["mqp-catalog"]["messages"] < by_strategy["gnutella(h=3)"]["messages"]
+
+    def test_catalog_routing_contacts_fewer_peers_than_broadcast(self, rows):
+        by_strategy = {row["strategy"]: row for row in rows}
+        assert (
+            by_strategy["mqp-catalog"]["mean_peers_per_query"]
+            < by_strategy["gnutella(h=3)"]["mean_peers_per_query"]
+        )
+
+    def test_catalog_routing_recall_is_complete(self, rows):
+        by_strategy = {row["strategy"]: row for row in rows}
+        assert by_strategy["mqp-catalog"]["mean_recall"] == pytest.approx(1.0)
+
+
+class TestCDComparison:
+    def test_mqp_and_coordinator_agree_on_answers(self):
+        workload = CDWorkload(CDWorkloadConfig(sellers=2, seed=5))
+        expected = workload.expected_matches()
+        mqp_summary, mqp_found = run_cd_query_mqp(workload)
+        coord_summary, coord_found = run_cd_query_coordinator(workload)
+        assert mqp_found == expected
+        assert coord_found == expected
+        assert mqp_summary["mean_recall"] == pytest.approx(1.0)
+        # MQPs avoid the per-subordinate round trips of the coordinator model.
+        assert mqp_summary["messages"] < coord_summary["messages"]
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        rows = [{"strategy": "mqp", "messages": 12.0}, {"strategy": "gnutella", "messages": 112.0}]
+        text = format_table(rows, ["strategy", "messages"], title="Routing")
+        assert "Routing" in text
+        assert "strategy" in text.splitlines()[1]
+        assert "112.00" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="Empty")
+
+    def test_format_series(self):
+        text = format_series("peers", [32, 64], {"messages": [10.0, 20.0]}, title="Scale")
+        assert "peers" in text and "20.00" in text
+
+    def test_format_summary(self):
+        text = format_summary({"messages": 10.0, "recall": 1.0})
+        assert "messages" in text and "recall" in text

@@ -1,0 +1,206 @@
+"""Tests for mutant query plans: provenance, wire format, policy, processor."""
+
+import pytest
+
+from repro.algebra import PlanBuilder
+from repro.catalog import (
+    Catalog,
+    CollectionRef,
+    NamedResourceEntry,
+    ServerEntry,
+    ServerRole,
+)
+from repro.errors import PlanError
+from repro.mqp import (
+    MQPProcessor,
+    MutantQueryPlan,
+    PolicyManager,
+    ProcessingAction,
+    ProvenanceAction,
+    ProvenanceLog,
+    QueryPreferences,
+)
+from repro.namespace import InterestAreaURN
+from tests.conftest import make_item
+
+
+class TestProvenance:
+    def test_records_and_queries(self):
+        log = ProvenanceLog()
+        log.add("a:1", ProvenanceAction.BOUND, 1.0, detail="urn:ForSale:Portland-CDs")
+        log.add("b:1", ProvenanceAction.EVALUATED, 2.0, detail="select->3 items")
+        log.add("b:1", ProvenanceAction.FORWARDED, 3.0, detail="c:1")
+        assert log.visited_servers() == ["a:1", "b:1"]
+        assert len(log.actions_by("b:1")) == 2
+        assert log.hop_count() == 1
+        assert len(log.evaluations()) == 1
+        assert log.servers_that_bound("urn:ForSale:Portland-CDs") == ["a:1"]
+
+    def test_staleness_tracking(self):
+        log = ProvenanceLog()
+        log.add("a:1", ProvenanceAction.BOUND, 1.0, staleness_minutes=30)
+        log.add("b:1", ProvenanceAction.BOUND, 2.0, staleness_minutes=5)
+        assert log.max_staleness() == 30
+
+    def test_xml_roundtrip(self):
+        log = ProvenanceLog()
+        log.add("a:1", ProvenanceAction.BOUND, 1.5, detail="urn:X:y", staleness_minutes=10)
+        log.add("b:1", ProvenanceAction.DELIVERED, 2.25, detail="client:1")
+        restored = ProvenanceLog.from_xml(log.to_xml())
+        assert len(restored) == 2
+        assert restored.records[0].staleness_minutes == 10
+        assert restored.records[1].action is ProvenanceAction.DELIVERED
+
+    def test_spoof_detection(self):
+        """§5.1: a resource never bound by anyone is suspicious."""
+        log = ProvenanceLog()
+        log.add("S:1", ProvenanceAction.BOUND, 1.0, detail="urn:ForSale:A")
+        suspicious = log.suspicious_resources(["urn:ForSale:A", "urn:ForSale:B"])
+        assert suspicious == ["urn:ForSale:B"]
+
+
+class TestPreferencesAndWireFormat:
+    def test_preferences_validation(self):
+        with pytest.raises(PlanError):
+            QueryPreferences(prefer="cheapest")
+        with pytest.raises(PlanError):
+            QueryPreferences(target_time_ms=0)
+
+    def test_over_budget(self):
+        preferences = QueryPreferences(target_time_ms=100)
+        mqp = MutantQueryPlan(PlanBuilder.urn("urn:A:b").display("c:1"), preferences=preferences, issued_at=50)
+        assert not mqp.over_budget(100)
+        assert mqp.over_budget(200)
+
+    def test_mqp_serialization_roundtrip(self, cd_items):
+        plan = PlanBuilder.data(cd_items, name="cds").select("price < 10").display("client:9020")
+        mqp = MutantQueryPlan(plan, preferences=QueryPreferences(target_time_ms=500, prefer="current"), issued_at=12.5)
+        mqp.provenance.add("a:1", ProvenanceAction.EVALUATED, 13.0, detail="select->3 items")
+        restored = MutantQueryPlan.deserialize(mqp.serialize())
+        assert restored.query_id == mqp.query_id
+        assert restored.plan.root == mqp.plan.root
+        assert restored.original.root == mqp.original.root
+        assert restored.preferences == mqp.preferences
+        assert restored.issued_at == pytest.approx(12.5)
+        assert len(restored.provenance) == 1
+
+    def test_wire_size_includes_partial_results(self, cd_items):
+        empty = MutantQueryPlan(PlanBuilder.urn("urn:A:b").display("c:1"))
+        loaded = MutantQueryPlan(PlanBuilder.data(cd_items, name="cds").display("c:1"))
+        assert loaded.wire_size() > empty.wire_size()
+
+    def test_original_resources(self):
+        plan = (
+            PlanBuilder.urn("urn:ForSale:Portland-CDs")
+            .join(PlanBuilder.url("tracklist:9020", "/tl"), on=("a", "b"))
+            .display("c:1")
+        )
+        mqp = MutantQueryPlan(plan)
+        assert set(mqp.original_resources()) == {"urn:ForSale:Portland-CDs", "tracklist:9020"}
+
+
+class TestPolicyManager:
+    def test_next_hop_prefers_unvisited(self):
+        policy = PolicyManager()
+        assert policy.choose_next_hop(["a", "b"], visited=["a"]) == "b"
+        assert policy.choose_next_hop(["a", "b"], visited=["a", "b"]) is None
+        assert policy.choose_next_hop(["a"], visited=["a"], revisitable=["a"]) == "a"
+        assert policy.choose_next_hop([], visited=[]) is None
+
+
+def _processor_for(namespace, address, collections=None, catalog=None):
+    return MQPProcessor(address, catalog or Catalog(address), namespace, collections=collections or {})
+
+
+class TestProcessor:
+    def test_local_evaluation_delivers(self, namespace, cd_items):
+        processor = _processor_for(namespace, "here:9020", {"/cds": cd_items})
+        plan = PlanBuilder.url("here:9020", "/cds").select("price < 10").display("client:9020")
+        result = processor.process(MutantQueryPlan(plan))
+        assert result.action is ProcessingAction.DELIVER
+        assert result.evaluated_subplans == 1
+        assert result.mqp.is_fully_evaluated()
+        assert len(result.mqp.plan.result().children) == 3
+
+    def test_binding_interest_area_urn(self, namespace, cd_items):
+        catalog = Catalog("index")
+        area = namespace.area(["USA/OR/Portland", "Music/CDs"])
+        catalog.register_server(
+            ServerEntry(
+                "seller:9020",
+                ServerRole.BASE,
+                area,
+                collections=[CollectionRef("seller:9020", "/cds", "cds", 5)],
+            )
+        )
+        processor = _processor_for(namespace, "index:9020", catalog=catalog)
+        urn = str(InterestAreaURN.for_area(area))
+        plan = PlanBuilder.urn(urn).select("price < 10").display("client:9020")
+        result = processor.process(MutantQueryPlan(plan))
+        assert result.action is ProcessingAction.FORWARD
+        assert result.next_hop == "seller:9020"
+        assert result.bound_urns == 1
+        assert result.mqp.remaining_urns() == []
+        bound_actions = [r for r in result.mqp.provenance.records if r.action is ProvenanceAction.BOUND]
+        assert len(bound_actions) == 1
+
+    def test_named_urn_binding(self, namespace, cd_items):
+        catalog = Catalog("peer")
+        catalog.register_named_resource(
+            NamedResourceEntry("urn:ForSale:Portland-CDs", [CollectionRef("seller:9020", "/cds")])
+        )
+        processor = _processor_for(namespace, "peer:9020", catalog=catalog)
+        plan = PlanBuilder.urn("urn:ForSale:Portland-CDs").display("client:9020")
+        result = processor.process(MutantQueryPlan(plan))
+        assert result.action is ProcessingAction.FORWARD
+        assert result.next_hop == "seller:9020"
+
+    def test_unresolvable_plan_is_stuck(self, namespace):
+        processor = _processor_for(namespace, "peer:9020")
+        plan = PlanBuilder.urn("urn:ForSale:Portland-CDs").display("client:9020")
+        result = processor.process(MutantQueryPlan(plan))
+        assert result.action is ProcessingAction.STUCK
+
+    def test_over_budget_delivers_partial(self, namespace, cd_items):
+        processor = _processor_for(namespace, "here:9020", {"/cds": cd_items})
+        plan = (
+            PlanBuilder.url("here:9020", "/cds")
+            .select("price < 10")
+            .join(PlanBuilder.url("remote:9020", "/tl"), on=("//title", "//title"))
+            .display("client:9020")
+        )
+        mqp = MutantQueryPlan(plan, preferences=QueryPreferences(target_time_ms=10), issued_at=0.0)
+        result = processor.process(mqp, now=100.0)
+        assert result.action is ProcessingAction.DELIVER_PARTIAL
+
+    def test_hop_limit_stops_forwarding(self, namespace):
+        processor = _processor_for(namespace, "here:9020")
+        processor.max_hops = 2
+        plan = PlanBuilder.url("remote:9020", "/cds").display("client:9020")
+        mqp = MutantQueryPlan(plan)
+        for hop in range(3):
+            mqp.provenance.add(f"peer{hop}:1", ProvenanceAction.FORWARDED, float(hop))
+        result = processor.process(mqp, now=5.0)
+        assert result.action is ProcessingAction.DELIVER_PARTIAL
+
+    def test_statistics_annotations_added(self, namespace, cd_items):
+        processor = _processor_for(namespace, "here:9020", {"/cds": cd_items})
+        plan = (
+            PlanBuilder.url("here:9020", "/cds")
+            .select("price < 10")
+            .join(PlanBuilder.url("remote:9020", "/tl"), on=("//title", "//title"))
+            .display("client:9020")
+        )
+        result = processor.process(MutantQueryPlan(plan))
+        leaves = result.mqp.plan.verbatim_leaves()
+        assert leaves and any("stats.cardinality" in leaf.annotations for leaf in leaves)
+
+    def test_learn_from_populates_cache(self, namespace):
+        area = namespace.area(["USA/OR/Portland", "Music/CDs"])
+        urn = str(InterestAreaURN.for_area(area))
+        plan = PlanBuilder.urn(urn).display("client:9020")
+        mqp = MutantQueryPlan(plan)
+        mqp.provenance.add("index-or:9020", ProvenanceAction.BOUND, 1.0, detail=urn)
+        processor = _processor_for(namespace, "client:9020")
+        processor.learn_from(mqp)
+        assert processor.cache.best(area).server == "index-or:9020"

@@ -1,0 +1,76 @@
+"""Tests for URN encoding/decoding of resource names and interest areas."""
+
+import pytest
+
+from repro.errors import URNError
+from repro.namespace import (
+    InterestArea,
+    InterestAreaURN,
+    NamedURN,
+    decode_interest_area,
+    encode_interest_area,
+    parse_urn,
+)
+
+
+class TestNamedURNs:
+    def test_parse_named_urn(self):
+        urn = parse_urn("urn:ForSale:Portland-CDs")
+        assert isinstance(urn, NamedURN)
+        assert urn.namespace == "ForSale"
+        assert urn.name == "Portland-CDs"
+        assert str(urn) == "urn:ForSale:Portland-CDs"
+
+    def test_parse_tracklisting_urn(self):
+        urn = parse_urn("urn:CD:TrackListings")
+        assert isinstance(urn, NamedURN)
+        assert urn.name == "TrackListings"
+
+    def test_invalid_urns_rejected(self):
+        with pytest.raises(URNError):
+            parse_urn("not-a-urn")
+        with pytest.raises(URNError):
+            parse_urn("urn:only-namespace")
+
+
+class TestInterestAreaURNs:
+    def test_paper_example_encoding(self):
+        area = InterestArea.of(
+            ["USA/OR/Portland", "Furniture"], ["USA/WA/Vancouver", "Furniture"]
+        )
+        encoded = encode_interest_area(area)
+        assert encoded == "(USA.OR.Portland,Furniture)+(USA.WA.Vancouver,Furniture)"
+
+    def test_roundtrip(self):
+        area = InterestArea.of(["USA/OR/Portland", "Music/CDs"], ["France", "*"])
+        assert decode_interest_area(encode_interest_area(area)) == area
+
+    def test_parse_interest_area_urn(self):
+        urn = parse_urn("urn:InterestArea:(USA.OR.Portland,Music.CDs)")
+        assert isinstance(urn, InterestAreaURN)
+        assert urn.area == InterestArea.of(["USA/OR/Portland", "Music/CDs"])
+
+    def test_for_area_and_back(self):
+        area = InterestArea.of(["USA/OR", "SportingGoods/GolfClubs"])
+        urn = InterestAreaURN.for_area(area)
+        parsed = parse_urn(str(urn))
+        assert isinstance(parsed, InterestAreaURN)
+        assert parsed.area == area
+
+    def test_top_coordinate_roundtrip(self):
+        area = InterestArea.of(["USA/OR/Portland", "*"])
+        assert decode_interest_area(encode_interest_area(area)) == area
+
+    def test_empty_area_rejected(self):
+        with pytest.raises(URNError):
+            encode_interest_area(InterestArea())
+
+    def test_malformed_encodings_rejected(self):
+        with pytest.raises(URNError):
+            decode_interest_area("")
+        with pytest.raises(URNError):
+            decode_interest_area("no-parens")
+        with pytest.raises(URNError):
+            decode_interest_area("(USA,)Portland")
+        with pytest.raises(URNError):
+            decode_interest_area("(USA,,Furniture)")

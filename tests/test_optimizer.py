@@ -1,0 +1,207 @@
+"""Tests for the rewrite framework, classical rules, and MQP-specific rules."""
+
+import pytest
+
+from repro.algebra import (
+    ConjointOr,
+    Join,
+    PlanBuilder,
+    Select,
+    Union,
+    URLRef,
+    VerbatimData,
+)
+from repro.engine import CostModel, QueryEngine
+from repro.optimizer import (
+    Optimizer,
+    RewriteEngine,
+    absorption_rule,
+    consolidation_rule,
+    deferrable_nodes,
+    merge_adjacent_selects,
+    push_select_through_union,
+    standard_rules,
+)
+from repro.xmlmodel import element, text_element
+from tests.conftest import make_item
+
+
+def local_to(address):
+    """Availability check: URL leaves on the given host are local."""
+    return lambda leaf: isinstance(leaf, URLRef) and leaf.url == address
+
+
+class TestStandardRules:
+    def test_push_select_through_union_figure4a(self, cd_items):
+        """Figure 4(a): the price selection is pushed through the seller union."""
+        plan = (
+            PlanBuilder.url("seller1:9020", "/cds")
+            .union(PlanBuilder.url("seller2:9020", "/cds"))
+            .select("price < 10")
+            .display("client:9020")
+        )
+        result = RewriteEngine(standard_rules()).rewrite_plan(plan)
+        assert "push-select-through-union" in result.fired_rules
+        body = result.plan.body
+        assert isinstance(body, Union)
+        assert all(isinstance(child, Select) for child in body.children)
+
+    def test_push_select_through_conjoint_or(self, cd_items):
+        plan = (
+            PlanBuilder.url("r:9020", "/a")
+            .conjoint_or(PlanBuilder.url("s:9020", "/a"))
+            .select("price < 10")
+            .plan()
+        )
+        result = RewriteEngine(standard_rules()).rewrite_plan(plan)
+        assert isinstance(result.plan.root, ConjointOr)
+
+    def test_merge_adjacent_selects(self, cd_items):
+        plan = PlanBuilder.data(cd_items).select("price < 10").select("price > 3").plan()
+        result = RewriteEngine([merge_adjacent_selects]).rewrite_plan(plan)
+        assert result.count("merge-adjacent-selects") == 1
+        assert isinstance(result.plan.root, Select)
+        assert not isinstance(result.plan.root.child, Select)
+
+    def test_rewrites_preserve_semantics(self, cd_items):
+        plan = (
+            PlanBuilder.data(cd_items[:3], name="a")
+            .union(PlanBuilder.data(cd_items[3:], name="b"))
+            .select("price < 10")
+            .plan()
+        )
+        before = QueryEngine().evaluate(plan)
+        rewritten = RewriteEngine(standard_rules()).rewrite_plan(plan).plan
+        after = QueryEngine().evaluate(rewritten)
+        assert {item.child_text("title") for item in before} == {
+            item.child_text("title") for item in after
+        }
+
+    def test_original_plan_untouched(self, cd_items):
+        plan = PlanBuilder.data(cd_items).select("a = 1").select("b = 2").plan()
+        RewriteEngine(standard_rules()).rewrite_plan(plan)
+        assert isinstance(plan.root.child, Select)
+
+
+class TestConsolidation:
+    def test_join_distributed_over_union_when_one_branch_local(self):
+        listings = [element("CD", {}, text_element("title", "A"))]
+        plan = (
+            PlanBuilder.url("local:9020", "/cds")
+            .union(PlanBuilder.url("remote:9020", "/cds"))
+            .join(PlanBuilder.data(listings, name="tl"), on=("//title", "//title"))
+            .plan()
+        )
+        rule = consolidation_rule(local_to("local:9020"))
+        result = RewriteEngine([rule]).rewrite_plan(plan)
+        assert result.count("consolidation") == 1
+        assert isinstance(result.plan.root, Union)
+        assert all(isinstance(child, Join) for child in result.plan.root.children)
+
+    def test_no_rewrite_when_all_branches_remote(self):
+        listings = [element("CD", {}, text_element("title", "A"))]
+        plan = (
+            PlanBuilder.url("remote1:9020", "/cds")
+            .union(PlanBuilder.url("remote2:9020", "/cds"))
+            .join(PlanBuilder.data(listings), on=("//title", "//title"))
+            .plan()
+        )
+        result = RewriteEngine([consolidation_rule(local_to("local:9020"))]).rewrite_plan(plan)
+        assert result.count("consolidation") == 0
+
+    def test_no_rewrite_when_other_side_remote(self):
+        plan = (
+            PlanBuilder.url("local:9020", "/cds")
+            .union(PlanBuilder.url("remote:9020", "/cds"))
+            .join(PlanBuilder.url("elsewhere:9020", "/tl"), on=("//title", "//title"))
+            .plan()
+        )
+        result = RewriteEngine([consolidation_rule(local_to("local:9020"))]).rewrite_plan(plan)
+        assert result.count("consolidation") == 0
+
+
+class TestAbsorption:
+    def _three_way_plan(self, a_items, b_items):
+        return (
+            PlanBuilder.data(a_items, name="A")
+            .join(PlanBuilder.url("remote:9020", "/x"), on=("//seller", "//seller"))
+            .join(PlanBuilder.data(b_items, name="B"), on=("//title", "//title"))
+            .plan()
+        )
+
+    def test_absorption_fires_when_prejoin_is_small(self):
+        a_items = [make_item(f"t{i}", 5, seller=f"s{i}") for i in range(6)]
+        b_items = [make_item("t0", 5)]
+        plan = self._three_way_plan(a_items, b_items)
+        rule = absorption_rule(lambda leaf: isinstance(leaf, VerbatimData), CostModel())
+        result = RewriteEngine([rule]).rewrite_plan(plan)
+        assert result.count("absorption") == 1
+        root = result.plan.root
+        assert isinstance(root, Join)
+        assert isinstance(root.left, Join)
+        assert isinstance(root.right, URLRef)
+
+    def test_absorption_skipped_when_outer_key_not_in_a(self):
+        """The Figure 3 shape: the outer join key (song) comes from the remote input."""
+        a_items = [make_item(f"t{i}", 5) for i in range(3)]
+        b_items = [element("fav", {}, text_element("song", "s1"))]
+        plan = (
+            PlanBuilder.data(a_items, name="A")
+            .join(PlanBuilder.url("remote:9020", "/tl"), on=("//title", "//CD/title"))
+            .join(PlanBuilder.data(b_items, name="B"), on=("//song", "//fav/song"))
+            .plan()
+        )
+        rule = absorption_rule(lambda leaf: isinstance(leaf, VerbatimData), CostModel())
+        result = RewriteEngine([rule]).rewrite_plan(plan)
+        assert result.count("absorption") == 0
+
+    def test_absorption_skipped_when_prejoin_would_grow(self):
+        a_items = [make_item("same", 5, seller="s") for _ in range(4)]
+        b_items = [make_item("same", 5) for _ in range(50)]
+        plan = self._three_way_plan(a_items, b_items)
+        rule = absorption_rule(
+            lambda leaf: isinstance(leaf, VerbatimData), CostModel(join_selectivity=1.0)
+        )
+        result = RewriteEngine([rule]).rewrite_plan(plan)
+        assert result.count("absorption") == 0
+
+
+class TestDefermentAndOptimizer:
+    def test_deferrable_nodes_flags_exploding_join(self, cd_items):
+        plan = (
+            PlanBuilder.data(cd_items, name="a")
+            .join(PlanBuilder.data(cd_items, name="b"), on=("//seller", "//seller"))
+            .plan()
+        )
+        deferred = deferrable_nodes(plan, lambda leaf: True, CostModel(join_selectivity=1.0))
+        assert len(deferred) == 1
+
+    def test_optimizer_outcome_reports_evaluable_and_estimates(self, cd_items):
+        plan = (
+            PlanBuilder.url("here:9020", "/cds")
+            .select("price < 10")
+            .join(PlanBuilder.urn("urn:CD:TrackListings"), on=("//title", "//title"))
+            .display("client:9020")
+        )
+        outcome = Optimizer().optimize(plan, local_to("here:9020"))
+        assert len(outcome.evaluable) == 1
+        estimate = outcome.estimate_for(outcome.evaluable[0])
+        assert estimate is not None and estimate.cardinality > 0
+
+    def test_optimizer_without_mqp_rules(self, cd_items):
+        plan = (
+            PlanBuilder.url("here:9020", "/a")
+            .union(PlanBuilder.url("remote:9020", "/a"))
+            .join(PlanBuilder.data(cd_items), on=("//title", "//title"))
+            .plan()
+        )
+        with_rules = Optimizer(use_mqp_rules=True).optimize(plan, local_to("here:9020"))
+        without_rules = Optimizer(use_mqp_rules=False).optimize(plan, local_to("here:9020"))
+        assert "consolidation" in with_rules.fired_rules
+        assert "consolidation" not in without_rules.fired_rules
+
+    def test_optimizer_does_not_mutate_input(self, cd_items):
+        plan = PlanBuilder.data(cd_items).select("a = 1").select("b = 2").plan()
+        size_before = plan.size()
+        Optimizer().optimize(plan)
+        assert plan.size() == size_before

@@ -1,0 +1,169 @@
+"""Tests for peer roles, registration, and end-to-end MQP query processing."""
+
+import pytest
+
+from repro.algebra import PlanBuilder
+from repro.catalog import IntensionalStatement, ServerRole
+from repro.mqp import QueryPreferences
+from repro.namespace import InterestAreaURN
+from repro.network import Network
+from repro.peers import (
+    BaseServer,
+    ClientPeer,
+    IndexServer,
+    MetaIndexServer,
+    covering_indexers,
+    register_offline,
+    register_online,
+    registration_plan,
+    seed_with_meta_index,
+)
+from tests.conftest import make_item
+
+
+@pytest.fixture()
+def small_network(namespace):
+    """Two Portland CD sellers, an Oregon index, a meta-index, and a client."""
+    network = Network()
+    portland_cds = namespace.area(["USA/OR/Portland", "Music/CDs"])
+    seller1 = BaseServer("seller1:9020", namespace, portland_cds)
+    seller2 = BaseServer("seller2:9020", namespace, portland_cds)
+    index_or = IndexServer("index-or:9020", namespace, namespace.area(["USA/OR", "*"]))
+    meta = MetaIndexServer("meta:9020", namespace)
+    client = ClientPeer("client:9020", namespace)
+    for peer in (seller1, seller2, index_or, meta, client):
+        network.register(peer)
+    seller1.publish_collection(
+        "cds", [make_item("Abbey Road", 8), make_item("Kind of Blue", 12)]
+    )
+    seller2.publish_collection("cds", [make_item("Blue Train", 6)])
+    return network, namespace, seller1, seller2, index_or, meta, client
+
+
+class TestPublishing:
+    def test_publish_collection_registers_self(self, namespace):
+        server = BaseServer("s:1", namespace, namespace.area(["USA/OR/Portland", "Music/CDs"]))
+        reference = server.publish_collection("cds", [make_item("A", 5)])
+        assert reference.path == "/cds"
+        assert server.collection_items("cds")[0].child_text("title") == "A"
+        entry = server.server_entry()
+        assert entry.role is ServerRole.BASE
+        assert entry.collections[0].cardinality == 1
+
+    def test_publish_named_resource(self, namespace):
+        server = BaseServer("s:1", namespace, namespace.top_area())
+        server.publish_collection("cds", [make_item("A", 5)])
+        server.publish_named_resource("urn:ForSale:Portland-CDs", "cds")
+        assert server.catalog.lookup_named("urn:ForSale:Portland-CDs") is not None
+        with pytest.raises(Exception):
+            server.publish_named_resource("urn:X:y", "missing")
+
+
+class TestRegistration:
+    def test_covering_indexers_prefers_most_specific_authoritative(self, namespace):
+        seller = BaseServer("s:1", namespace, namespace.area(["USA/OR/Portland", "Music/CDs"]))
+        index_or = IndexServer("i-or:1", namespace, namespace.area(["USA/OR", "*"]))
+        meta = MetaIndexServer("meta:1", namespace)
+        chosen = covering_indexers(seller, [meta, index_or])
+        assert [peer.address for peer in chosen] == ["i-or:1"]
+
+    def test_registration_plan_links_index_to_meta(self, namespace):
+        seller = BaseServer("s:1", namespace, namespace.area(["USA/OR/Portland", "Music/CDs"]))
+        index_or = IndexServer("i-or:1", namespace, namespace.area(["USA/OR", "*"]))
+        meta = MetaIndexServer("meta:1", namespace)
+        client = ClientPeer("c:1", namespace)
+        plan = registration_plan([seller, index_or, meta, client])
+        assert ("s:1", "i-or:1") in plan
+        assert ("i-or:1", "meta:1") in plan
+        assert all(source != "c:1" for source, _ in plan)
+
+    def test_register_offline_populates_catalogs(self, small_network):
+        network, namespace, seller1, seller2, index_or, meta, client = small_network
+        count = register_offline([seller1, seller2, index_or, meta, client])
+        assert count >= 3
+        assert "seller1:9020" in index_or.catalog.known_addresses()
+        assert "index-or:9020" in meta.catalog.known_addresses()
+        # Meta-index servers keep only namespace indices (no collection detail).
+        assert all(not entry.collections for entry in meta.catalog.servers.values())
+        # The registering peer learns about its indexer in return.
+        assert "index-or:9020" in seller1.catalog.known_addresses()
+
+    def test_register_online_uses_messages(self, small_network):
+        network, namespace, seller1, seller2, index_or, meta, client = small_network
+        initiated = register_online([seller1, seller2, index_or, meta, client])
+        network.run_until_idle()
+        assert initiated >= 3
+        assert network.metrics.messages_by_kind["register"] == initiated
+        assert network.metrics.messages_by_kind["register-ack"] >= 1
+        assert "seller1:9020" in index_or.catalog.known_addresses()
+
+    def test_intensional_statements_travel_with_registration(self, small_network):
+        network, namespace, seller1, seller2, index_or, meta, client = small_network
+        statement = IntensionalStatement.parse(
+            "base[(USA.OR.Portland,Music.CDs)]@seller1:9020 >= "
+            "base[(USA.OR.Portland,Music.CDs)]@seller2:9020{15}"
+        )
+        seller1.announce_statement(statement)
+        register_offline([seller1, seller2, index_or, meta, client])
+        assert statement in index_or.catalog.statements
+
+
+class TestEndToEndQuery:
+    def _prepare(self, small_network):
+        network, namespace, seller1, seller2, index_or, meta, client = small_network
+        register_offline([seller1, seller2, index_or, meta, client])
+        seed_with_meta_index([client], [meta])
+        return network, namespace, client
+
+    def test_query_finds_all_cheap_cds(self, small_network):
+        network, namespace, client = self._prepare(small_network)
+        area = namespace.area(["USA/OR/Portland", "Music/CDs"])
+        plan = PlanBuilder.urn(str(InterestAreaURN.for_area(area))).select("price < 10").display(client.address)
+        mqp = client.issue_query(plan, QueryPreferences(), expected_answers=2)
+        network.run_until_idle()
+        result = client.result_for(mqp.query_id)
+        assert result is not None and not result.partial
+        assert {item.child_text("title") for item in result.items} == {"Abbey Road", "Blue Train"}
+        trace = network.metrics.trace(mqp.query_id)
+        assert trace.recall == pytest.approx(1.0)
+        # The §3.4 resolution walk: meta-index, then the state index, then the sellers.
+        assert trace.visited.index("meta:9020") < trace.visited.index("index-or:9020")
+        assert trace.visited.index("index-or:9020") < trace.visited.index("seller1:9020")
+
+    def test_query_skips_irrelevant_state(self, small_network):
+        network, namespace, client = self._prepare(small_network)
+        area = namespace.area(["USA/WA/Seattle", "Music/CDs"])
+        plan = PlanBuilder.urn(str(InterestAreaURN.for_area(area))).display(client.address)
+        mqp = client.issue_query(plan, QueryPreferences(), expected_answers=0)
+        network.run_until_idle()
+        result = client.result_for(mqp.query_id)
+        assert result is not None
+        assert result.count == 0
+        trace = network.metrics.trace(mqp.query_id)
+        assert "seller1:9020" not in trace.visited
+        assert "seller2:9020" not in trace.visited
+
+    def test_failed_seller_yields_partial_answer(self, small_network):
+        network, namespace, seller1, seller2, index_or, meta, client = small_network
+        register_offline([seller1, seller2, index_or, meta, client])
+        seed_with_meta_index([client], [meta])
+        seller2.go_offline()
+        area = namespace.area(["USA/OR/Portland", "Music/CDs"])
+        plan = PlanBuilder.urn(str(InterestAreaURN.for_area(area))).select("price < 10").display(client.address)
+        mqp = client.issue_query(plan, QueryPreferences(), expected_answers=2)
+        network.run_until_idle()
+        # The plan dies at the offline seller; the system keeps working and
+        # the client simply never hears back for this query (no crash).
+        trace = network.metrics.trace(mqp.query_id)
+        assert network.metrics.dropped_messages >= 1
+        assert trace.visited  # the query did travel
+
+    def test_query_result_records_provenance_hops(self, small_network):
+        network, namespace, client = self._prepare(small_network)
+        area = namespace.area(["USA/OR/Portland", "Music/CDs"])
+        plan = PlanBuilder.urn(str(InterestAreaURN.for_area(area))).display(client.address)
+        mqp = client.issue_query(plan, QueryPreferences(), expected_answers=3)
+        network.run_until_idle()
+        result = client.result_for(mqp.query_id)
+        assert result is not None
+        assert result.provenance_hops >= 2

@@ -1,0 +1,92 @@
+"""Property-based tests (hypothesis) for namespace coverage/overlap invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.namespace import (
+    InterestArea,
+    InterestCell,
+    decode_interest_area,
+    encode_interest_area,
+    garage_sale_namespace,
+)
+
+_NAMESPACE = garage_sale_namespace()
+_LOCATIONS = _NAMESPACE.dimensions[0].categories()
+_CATEGORIES = _NAMESPACE.dimensions[1].categories()
+
+cells = st.builds(
+    lambda location, category: InterestCell((location, category)),
+    st.sampled_from(_LOCATIONS),
+    st.sampled_from(_CATEGORIES),
+)
+areas = st.lists(cells, min_size=1, max_size=4).map(InterestArea)
+
+
+class TestCellProperties:
+    @given(cells)
+    def test_cover_is_reflexive(self, cell):
+        assert cell.covers(cell)
+
+    @given(cells, cells)
+    def test_cover_implies_overlap(self, first, second):
+        if first.covers(second):
+            assert first.overlaps(second)
+
+    @given(cells, cells)
+    def test_overlap_is_symmetric(self, first, second):
+        assert first.overlaps(second) == second.overlaps(first)
+
+    @given(cells, cells)
+    def test_intersection_is_covered_by_both(self, first, second):
+        met = first.intersect(second)
+        if met is None:
+            assert not first.overlaps(second)
+        else:
+            assert first.covers(met) and second.covers(met)
+
+    @given(cells, cells, cells)
+    def test_cover_is_transitive(self, first, second, third):
+        if first.covers(second) and second.covers(third):
+            assert first.covers(third)
+
+
+class TestAreaProperties:
+    @settings(max_examples=50)
+    @given(areas)
+    def test_area_covers_itself(self, area):
+        assert area.covers(area)
+
+    @settings(max_examples=50)
+    @given(areas, areas)
+    def test_union_covers_both_inputs(self, first, second):
+        union = first.union(second)
+        assert union.covers(first) and union.covers(second)
+
+    @settings(max_examples=50)
+    @given(areas, areas)
+    def test_intersection_is_covered_by_both_inputs(self, first, second):
+        intersection = first.intersection(second)
+        if intersection:
+            assert first.covers(intersection) and second.covers(intersection)
+        else:
+            assert not first.overlaps(second)
+
+    @settings(max_examples=50)
+    @given(areas, areas)
+    def test_overlap_matches_nonempty_intersection(self, first, second):
+        assert first.overlaps(second) == bool(first.intersection(second))
+
+    @settings(max_examples=50)
+    @given(areas)
+    def test_urn_encoding_roundtrip(self, area):
+        assert decode_interest_area(encode_interest_area(area)) == area
+
+    @settings(max_examples=50)
+    @given(areas)
+    def test_maximal_cells_are_incomparable(self, area):
+        for first in area:
+            for second in area:
+                if first is not second:
+                    assert not first.covers(second)

@@ -1,0 +1,67 @@
+"""Tests for XML parsing and serialization."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmlmodel import (
+    element,
+    parse_xml,
+    serialize_xml,
+    serialized_size,
+    text_element,
+)
+
+
+class TestParse:
+    def test_parse_simple_document(self):
+        root = parse_xml("<items><item id='1'><title>CD</title></item></items>")
+        assert root.tag == "items"
+        assert root.children[0].get("id") == "1"
+        assert root.children[0].child_text("title") == "CD"
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<items><item></items>")
+
+    def test_parse_rejects_mixed_content(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a>text<b/></a>")
+
+    def test_whitespace_only_text_ignored(self):
+        root = parse_xml("<a>\n  <b>x</b>\n</a>")
+        assert root.text is None
+        assert root.children[0].text == "x"
+
+
+class TestSerialize:
+    def test_roundtrip(self):
+        original = element(
+            "items",
+            {"count": 2},
+            element("item", {"id": "1"}, text_element("title", "Blue Train")),
+            element("item", {"id": "2"}, text_element("title", "A & B <CDs>")),
+        )
+        assert parse_xml(serialize_xml(original)) == original
+
+    def test_escaping_special_characters(self):
+        node = text_element("title", "Tom & Jerry <live>")
+        document = serialize_xml(node)
+        assert "&amp;" in document and "&lt;" in document
+        assert parse_xml(document).text == "Tom & Jerry <live>"
+
+    def test_attribute_quoting(self):
+        node = element("item", {"note": 'say "hi"'})
+        assert parse_xml(serialize_xml(node)).get("note") == 'say "hi"'
+
+    def test_empty_element_self_closes(self):
+        assert serialize_xml(element("empty", {})) == "<empty/>"
+
+    def test_pretty_print_contains_newlines(self):
+        doc = serialize_xml(element("a", {}, element("b", {})), indent=2)
+        assert "\n" in doc
+        assert parse_xml(doc) == element("a", {}, element("b", {}))
+
+    def test_serialized_size_counts_bytes(self):
+        node = text_element("title", "abc")
+        assert serialized_size(node) == len(serialize_xml(node).encode("utf-8"))
+        assert serialized_size(node) > 0
