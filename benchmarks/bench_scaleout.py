@@ -1,0 +1,153 @@
+"""SCALE-OUT — batched MQP processing at one thousand peers.
+
+The scale-out fast path (:meth:`repro.mqp.processor.MQPProcessor.process_batch`)
+amortizes the per-hop pipeline of Figure 2 across the plans that arrive at
+one peer in the same simulated tick: URN parses, catalog lookups, interest
+area bindings, routing-candidate scans, and — the big one — sub-plan
+evaluation plus statistics collection are each done once per distinct
+shape instead of once per plan.
+
+This benchmark builds the real thousand-peer garage-sale population, takes
+one data-holding peer whose catalog reflects that scale, and pushes a batch
+of same-shaped (unique-id) plans through the unbatched and the batched
+pipeline.  The headline comparison must show at least a 2x throughput gain.
+
+``REPRO_BENCH_QUICK=1`` shrinks the population and repetition counts for CI
+smoke runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.algebra import PlanBuilder
+from repro.catalog import CollectionRef, NamedResourceEntry
+from repro.harness.scaleout import ScaleoutSpec, build_scaleout_scenario
+from repro.mqp import MutantQueryPlan
+from conftest import emit
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+PEERS = 200 if QUICK else 1000
+BATCH_SIZE = 16 if QUICK else 64
+REPEATS = 2 if QUICK else 5
+
+FORSALE_URN = "urn:ForSale:ScaleoutBench"
+
+
+@pytest.fixture(scope="module")
+def hot_server():
+    """A data-holding peer inside the 1,000-peer scenario.
+
+    The paper insists roles are not fixed, so the busiest index server also
+    serves the union of its region's items as a named collection — giving
+    the pipeline both a large catalog (binding, routing scans) and real
+    evaluation work (select + statistics over the collection).
+    """
+    spec = ScaleoutSpec(
+        name="bench", topology="scale-free", peers=PEERS, workload="garage-sale",
+        churn="none", queries=1, batch=False,
+    )
+    scenario = build_scaleout_scenario(spec)
+    index = max(
+        scenario.index_servers,
+        key=lambda server: (len(server.catalog.servers), server.address),
+    )
+    items = [
+        item
+        for peer in scenario.data_peers
+        for item in peer.items
+        if index.interest_area.overlaps(
+            scenario.namespace.area([item.child_text("city") or "*", "*"])
+        )
+    ]
+    index.processor.add_collection("/items", items)
+    index.catalog.register_named_resource(
+        NamedResourceEntry(FORSALE_URN, [CollectionRef(index.address, "/items")])
+    )
+    return index.processor, len(items)
+
+
+def _plan_documents(processor, count: int) -> list[str]:
+    """Same-shaped plans with unique query ids — a popular query in one tick."""
+    documents = []
+    for _ in range(count):
+        plan = (
+            PlanBuilder.urn(FORSALE_URN)
+            .select("price < 120")
+            .display("client:9020")
+        )
+        documents.append(MutantQueryPlan(plan).serialize())
+    return documents
+
+
+def _run_unbatched(processor, documents):
+    results = []
+    for document in documents:
+        mqp = MutantQueryPlan.deserialize(document)
+        results.append(processor.process(mqp, now=0.0))
+    return results
+
+
+def _run_batched(processor, documents):
+    mqps = [MutantQueryPlan.deserialize(document) for document in documents]
+    return processor.process_batch(mqps, now=0.0)
+
+
+def _best_time(runner, processor, documents, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        runner(processor, documents)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_throughput_ratio(hot_server):
+    """The acceptance gate: batched >= 2x unbatched plans/second."""
+    processor, item_count = hot_server
+    documents = _plan_documents(processor, BATCH_SIZE)
+
+    unbatched = _best_time(_run_unbatched, processor, documents, REPEATS)
+    batched = _best_time(_run_batched, processor, documents, REPEATS)
+    ratio = unbatched / batched
+    emit(
+        f"SCALE-OUT  Batched vs unbatched pipeline ({PEERS} peers)",
+        f"batch_size={BATCH_SIZE} items={item_count} "
+        f"unbatched={BATCH_SIZE / unbatched:,.0f} plans/s "
+        f"batched={BATCH_SIZE / batched:,.0f} plans/s ratio={ratio:.2f}x",
+    )
+    assert ratio >= 2.0, f"batched path only {ratio:.2f}x faster (need >= 2x)"
+
+
+def test_batched_results_match_unbatched(hot_server):
+    """The fast path must not change any plan's outcome."""
+    processor, _ = hot_server
+    documents = _plan_documents(processor, 8)
+    solo = _run_unbatched(processor, documents)
+    together = _run_batched(processor, documents)
+    for lone, grouped in zip(solo, together):
+        assert lone.action == grouped.action
+        assert lone.bound_urns == grouped.bound_urns
+        assert lone.evaluated_subplans == grouped.evaluated_subplans
+        assert lone.mqp.is_fully_evaluated() == grouped.mqp.is_fully_evaluated()
+        if lone.mqp.is_fully_evaluated():
+            assert len(lone.mqp.plan.result().children) == len(
+                grouped.mqp.plan.result().children
+            )
+
+
+def test_unbatched_pipeline(benchmark, hot_server):
+    processor, _ = hot_server
+    documents = _plan_documents(processor, BATCH_SIZE)
+    results = benchmark(_run_unbatched, processor, documents)
+    assert len(results) == BATCH_SIZE
+
+
+def test_batched_pipeline(benchmark, hot_server):
+    processor, _ = hot_server
+    documents = _plan_documents(processor, BATCH_SIZE)
+    results = benchmark(_run_batched, processor, documents)
+    assert len(results) == BATCH_SIZE

@@ -1,10 +1,50 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so that editable installs work in offline
-environments whose setuptools predates full PEP 660 support (no ``wheel``
-package available).
+All metadata lives here (rather than in ``pyproject.toml``) so that
+editable installs work in offline environments whose setuptools predates
+full PEP 660 support (no ``wheel`` package available).
 """
 
-from setuptools import setup
+import pathlib
 
-setup()
+from setuptools import find_packages, setup
+
+ROOT = pathlib.Path(__file__).parent
+README = ROOT / "README.md"
+
+setup(
+    name="repro-p2p-mqp",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Distributed Query Processing and Catalogs for "
+        "Peer-to-Peer Systems' (CIDR 2003): mutant query plans, "
+        "multi-hierarchic namespaces, and a thousand-peer simulation harness"
+    ),
+    long_description=README.read_text(encoding="utf-8") if README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "networkx",
+    ],
+    extras_require={
+        "test": ["pytest"],
+        "bench": ["pytest", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.harness.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Database",
+        "Topic :: System :: Distributed Computing",
+    ],
+)

@@ -38,7 +38,7 @@ from . import (
 )
 from .errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

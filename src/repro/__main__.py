@@ -1,0 +1,7 @@
+"""``python -m repro`` — the scale-out experiment runner."""
+
+import sys
+
+from .harness.cli import main
+
+sys.exit(main())

@@ -150,10 +150,21 @@ class VerbatimData(LeafNode):
 
     @classmethod
     def from_items(
-        cls, items: Sequence[XMLElement], name: str | None = None, tag: str = "collection"
+        cls,
+        items: Sequence[XMLElement],
+        name: str | None = None,
+        tag: str = "collection",
+        copy_items: bool = True,
     ) -> "VerbatimData":
-        """Wrap a list of item elements into a collection leaf."""
-        return cls(XMLElement(tag, {}, [item.copy() for item in items]), name)
+        """Wrap a list of item elements into a collection leaf.
+
+        ``copy_items=False`` embeds the items by reference — used by the
+        batched processing path, where many plans at one peer share the
+        memoized result of the same sub-plan and nothing downstream
+        mutates items in place (forwarding serializes, delivery copies).
+        """
+        children = [item.copy() for item in items] if copy_items else list(items)
+        return cls(XMLElement(tag, {}, children), name)
 
     @property
     def items(self) -> list[XMLElement]:

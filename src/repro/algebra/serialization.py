@@ -117,6 +117,11 @@ def _node_to_xml(node: PlanNode) -> XMLElement:
     return XMLElement(node.operator, attributes, children)
 
 
+def node_to_xml(node: PlanNode) -> XMLElement:
+    """Serialize a bare plan node (used as a canonical cache key for nodes)."""
+    return _node_to_xml(node)
+
+
 def plan_to_xml(plan: QueryPlan) -> XMLElement:
     """Serialize a plan to its XML element form, wrapped in ``<mqp>``."""
     return XMLElement("mqp", {}, [_node_to_xml(plan.root)])

@@ -25,7 +25,7 @@ from ..algebra.operators import ConjointOr, PlanNode, Union as UnionOp, URLRef, 
 from ..errors import BindingError
 from ..namespace import InterestArea
 from .catalog import Catalog
-from .entries import CollectionRef, ServerRole
+from .entries import CollectionRef, ServerRole, WHOLE_SERVER
 from .intensional import CatalogLevel, IntensionalStatement, Relation
 
 __all__ = ["BoundSource", "BindingAlternative", "Binding", "Binder"]
@@ -94,7 +94,11 @@ class BindingAlternative:
         leaves: list[PlanNode] = []
         for source in self.sources:
             if source.collection is not None:
-                leaves.append(URLRef(source.collection.url, source.collection.path))
+                path = source.collection.path
+                # WHOLE_SERVER refs fetch the union of the server's local
+                # collections (the catalog only knew the server, not its
+                # collection layout).
+                leaves.append(URLRef(source.collection.url, None if path == WHOLE_SERVER else path))
             else:
                 if fallback_urn is None:
                     raise BindingError(
@@ -174,7 +178,9 @@ class Binder:
             for collection in entry.collections:
                 sources.append(BoundSource(entry.address, collection))
             if not entry.collections:
-                sources.append(BoundSource(entry.address, CollectionRef(entry.address)))
+                sources.append(
+                    BoundSource(entry.address, CollectionRef(entry.address, WHOLE_SERVER))
+                )
         if not sources:
             return None
         return BindingAlternative(sources, description="union of all overlapping base servers")
@@ -274,7 +280,7 @@ class Binder:
         entry = self.catalog.servers.get(address)
         if entry is not None and entry.collections:
             return BoundSource(address, entry.collections[0], delay_minutes)
-        return BoundSource(address, CollectionRef(address), delay_minutes)
+        return BoundSource(address, CollectionRef(address, WHOLE_SERVER), delay_minutes)
 
     @staticmethod
     def _deduplicate(alternatives: list[BindingAlternative]) -> list[BindingAlternative]:

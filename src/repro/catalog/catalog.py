@@ -70,6 +70,44 @@ class Catalog:
         """Drop a server (e.g. after repeated failures)."""
         self.servers.pop(address, None)
 
+    def prune_server(self, address: str) -> int:
+        """Purge everything that routes through an unreachable server.
+
+        Drops the server entry and every named-resource collection or
+        resolver pointer hosted at ``address``; named resources left with no
+        resolution data disappear entirely.  Returns the number of records
+        removed.  A rejoining peer restores its records through registration
+        re-propagation, so pruning is safe under churn.
+        """
+        removed = 0
+        if self.servers.pop(address, None) is not None:
+            removed += 1
+        urls = (address, f"http://{address}")
+        replacements: dict[str, NamedResourceEntry | None] = {}
+        for name, entry in self.named_resources.items():
+            kept = [collection for collection in entry.collections if collection.url not in urls]
+            resolvers = [server for server in entry.resolver_servers if server != address]
+            dropped = (len(entry.collections) - len(kept)) + (
+                len(entry.resolver_servers) - len(resolvers)
+            )
+            if not dropped:
+                continue
+            removed += dropped
+            # Entries are shared by reference with the catalogs that
+            # registered them (including the origin peer's own), so build a
+            # pruned replacement instead of mutating in place.
+            replacements[name] = (
+                NamedResourceEntry(name, kept, resolvers, entry.area)
+                if kept or resolvers
+                else None
+            )
+        for name, replacement in replacements.items():
+            if replacement is None:
+                del self.named_resources[name]
+            else:
+                self.named_resources[name] = replacement
+        return removed
+
     # -- lookups --------------------------------------------------------------- #
 
     def lookup_named(self, name: str) -> NamedResourceEntry | None:

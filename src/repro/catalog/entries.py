@@ -21,7 +21,15 @@ from enum import Enum
 from ..errors import CatalogError
 from ..namespace import InterestArea
 
-__all__ = ["ServerRole", "CollectionRef", "ServerEntry", "NamedResourceEntry"]
+__all__ = ["ServerRole", "CollectionRef", "ServerEntry", "NamedResourceEntry", "WHOLE_SERVER"]
+
+WHOLE_SERVER = "/*"
+"""Sentinel collection path meaning *everything the server holds*.
+
+Used when a catalog (typically a meta-index, which drops collection detail)
+knows a server serves an area but not which collections it publishes; plan
+construction maps it to ``URLRef(url, None)``, which resolves to the union
+of the server's local collections."""
 
 
 class ServerRole(str, Enum):
@@ -36,7 +44,11 @@ class ServerRole(str, Enum):
 
 @dataclass(frozen=True, order=True)
 class CollectionRef:
-    """A pointer to a named collection of data at a base server."""
+    """A pointer to a named collection of data at a base server.
+
+    ``path`` may be the :data:`WHOLE_SERVER` sentinel when only the server
+    (not its collection layout) is known.
+    """
 
     url: str
     path: str = "/data"

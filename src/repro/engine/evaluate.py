@@ -48,6 +48,10 @@ class QueryEngine:
         Optional callback consulted for :class:`URLRef` and :class:`URNRef`
         leaves.  Returning ``None`` means the leaf is not available locally
         and evaluation fails with :class:`EvaluationError`.
+
+    Cross-plan result caching lives one level up: the batched MQP pipeline
+    keys sub-plans with :class:`~repro.engine.memo.EvaluationMemo` and only
+    calls the engine on memo misses.
     """
 
     def __init__(self, resolver: LeafResolver | None = None) -> None:

@@ -1,5 +1,6 @@
 """Experiment harness: scenario builders, strategy runners, and report formatting."""
 
+from .cli import main as cli_main
 from .experiment import (
     MQPScenario,
     build_gnutella_scenario,
@@ -16,9 +17,26 @@ from .experiment import (
     run_napster_queries,
     run_routing_index_queries,
 )
-from .report import format_series, format_summary, format_table
+from .report import format_series, format_summary, format_table, to_json, write_json_report
+from .scaleout import (
+    ROUTING_KINDS,
+    ScaleoutScenario,
+    ScaleoutSpec,
+    WORKLOAD_KINDS,
+    build_scaleout_scenario,
+    run_scaleout,
+)
 
 __all__ = [
+    "cli_main",
+    "ScaleoutSpec",
+    "ScaleoutScenario",
+    "WORKLOAD_KINDS",
+    "ROUTING_KINDS",
+    "build_scaleout_scenario",
+    "run_scaleout",
+    "to_json",
+    "write_json_report",
     "MQPScenario",
     "build_mqp_scenario",
     "run_mqp_queries",

@@ -1,0 +1,170 @@
+"""The experiment CLI: ``python -m repro`` (or the ``repro`` console script).
+
+Composes a scale-out scenario from command-line flags — topology × workload
+× churn profile × routing strategy — runs it on the deterministic
+simulator, prints a summary table, and writes the full JSON report.
+
+Examples
+--------
+Run the thousand-peer gene-expression scenario under moderate churn::
+
+    python -m repro --topology scale-free --peers 1000 \
+        --workload gene-expression --churn moderate
+
+Run a named preset and keep the report somewhere specific::
+
+    python -m repro --scenario smoke --output reports/smoke.json
+
+List presets, topologies, workloads and churn profiles::
+
+    python -m repro --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+
+from ..errors import ReproError
+from ..network import CHURN_PROFILES, TOPOLOGY_KINDS
+from .report import format_summary, write_json_report
+from .scaleout import ROUTING_KINDS, WORKLOAD_KINDS, ScaleoutSpec, run_scaleout
+
+__all__ = ["SCENARIOS", "build_parser", "main"]
+
+
+SCENARIOS: dict[str, ScaleoutSpec] = {
+    # A fast end-to-end sanity run (CI smoke, demos).
+    "smoke": ScaleoutSpec(
+        name="smoke", topology="small-world", peers=60, workload="garage-sale",
+        churn="light", queries=5,
+    ),
+    # The headline thousand-peer run of the scale-out subsystem.
+    "thousand-peers": ScaleoutSpec(
+        name="thousand-peers", topology="scale-free", peers=1000,
+        workload="gene-expression", churn="moderate",
+    ),
+    # Heavy churn on an ISP-like hierarchy: stresses rerouting + rejoin.
+    "churn-storm": ScaleoutSpec(
+        name="churn-storm", topology="hierarchical", peers=500,
+        workload="garage-sale", churn="heavy", queries=20,
+    ),
+    # The Gnutella baseline at scale, for routed-vs-broadcast comparisons.
+    "broadcast-baseline": ScaleoutSpec(
+        name="broadcast-baseline", topology="scale-free", peers=500,
+        workload="garage-sale", churn="none", routing="gnutella", queries=20,
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run a scale-out P2P mutant-query-plan experiment.",
+    )
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS), default=None,
+                        help="start from a named preset (flags below override it)")
+    parser.add_argument("--topology", choices=TOPOLOGY_KINDS, default=None,
+                        help="overlay shape (default: scale-free)")
+    parser.add_argument("--peers", type=int, default=None,
+                        help="number of data-serving peers (default: 1000)")
+    parser.add_argument("--workload", choices=WORKLOAD_KINDS, default=None,
+                        help="synthetic population (default: gene-expression)")
+    parser.add_argument("--churn", choices=sorted(CHURN_PROFILES), default=None,
+                        help="churn profile applied to data peers (default: none)")
+    parser.add_argument("--routing", choices=ROUTING_KINDS, default=None,
+                        help="query routing strategy (default: mqp)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="number of queries to issue (default: 12)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="master seed for the whole scenario (default: 11)")
+    batching = parser.add_mutually_exclusive_group()
+    batching.add_argument("--batch", dest="batch", action="store_true", default=None,
+                          help="batched MQP processing (default)")
+    batching.add_argument("--no-batch", dest="batch", action="store_false",
+                          help="per-plan MQP processing (the pre-scale-out path)")
+    parser.add_argument("--prefer", choices=("complete", "current", "fast"), default=None,
+                        help="query preference of paper §4.3 (default: complete)")
+    parser.add_argument("--output", default=None,
+                        help="JSON report path (default: reports/<name>.json)")
+    parser.add_argument("--list", action="store_true", dest="list_options",
+                        help="list presets, topologies, workloads, churn profiles and exit")
+    return parser
+
+
+def _spec_from_args(args: argparse.Namespace) -> ScaleoutSpec:
+    spec = SCENARIOS[args.scenario] if args.scenario else ScaleoutSpec()
+    overrides = {
+        key: value
+        for key, value in {
+            "topology": args.topology,
+            "peers": args.peers,
+            "workload": args.workload,
+            "churn": args.churn,
+            "routing": args.routing,
+            "queries": args.queries,
+            "seed": args.seed,
+            "batch": args.batch,
+            "prefer": args.prefer,
+        }.items()
+        if value is not None
+    }
+    if args.scenario is None and overrides:
+        overrides.setdefault("name", "custom")
+    spec = replace(spec, **overrides)
+    if spec.name == "custom":
+        descriptor = f"{spec.workload}-{spec.topology}-{spec.peers}p-{spec.churn}-{spec.routing}"
+        spec = replace(spec, name=descriptor)
+    return spec
+
+
+def _list_options() -> str:
+    lines = ["Named scenarios:"]
+    for name in sorted(SCENARIOS):
+        preset = SCENARIOS[name]
+        lines.append(
+            f"  {name:<20} {preset.workload} on {preset.topology}, "
+            f"{preset.peers} peers, churn={preset.churn}, routing={preset.routing}"
+        )
+    lines.append(f"Topologies:      {', '.join(TOPOLOGY_KINDS)}")
+    lines.append(f"Workloads:       {', '.join(WORKLOAD_KINDS)}")
+    lines.append(f"Churn profiles:  {', '.join(sorted(CHURN_PROFILES))}")
+    lines.append(f"Routing:         {', '.join(ROUTING_KINDS)}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_options:
+        print(_list_options())
+        return 0
+
+    spec = _spec_from_args(args)
+    started = time.perf_counter()
+    try:
+        report = run_scaleout(spec)
+    except ReproError as error:
+        parser.error(str(error))  # exits with status 2
+        return 2  # pragma: no cover - parser.error raises SystemExit
+    elapsed = time.perf_counter() - started
+
+    output = args.output or f"reports/{spec.name}.json"
+    path = write_json_report(output, report)
+
+    print(f"scenario {spec.name}: {report['population']['total_nodes']} nodes, "
+          f"{len(report['queries'])} queries, churn={spec.churn} "
+          f"({report['churn']['events']} events)")
+    print(format_summary(report["traffic"], title="traffic"))
+    if "processing" in report:
+        print(format_summary(report["processing"], title="mqp processing"))
+    print(f"report written to {path} ({elapsed:.1f}s wall clock)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

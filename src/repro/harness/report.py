@@ -9,9 +9,11 @@ pasted into Markdown code blocks.
 
 from __future__ import annotations
 
+import json
+import pathlib
 from typing import Mapping, Sequence
 
-__all__ = ["format_table", "format_series", "format_summary"]
+__all__ = ["format_table", "format_series", "format_summary", "to_json", "write_json_report"]
 
 
 def _render(value: object, precision: int) -> str:
@@ -68,3 +70,21 @@ def format_summary(summary: Mapping[str, float], title: str | None = None, preci
     """Render a flat metric dictionary as a two-column table."""
     rows = [{"metric": key, "value": value} for key, value in summary.items()]
     return format_table(rows, ["metric", "value"], title=title, precision=precision)
+
+
+def to_json(payload: Mapping[str, object]) -> str:
+    """Serialize a report payload as stable, human-diffable JSON.
+
+    Keys keep their insertion order (reports are built in narrative order)
+    and floats are rounded at source by the builders, so two runs of the
+    same seeded scenario produce byte-identical documents.
+    """
+    return json.dumps(payload, indent=2, sort_keys=False, default=str) + "\n"
+
+
+def write_json_report(path: str | pathlib.Path, payload: Mapping[str, object]) -> pathlib.Path:
+    """Write a JSON report, creating parent directories as needed."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(to_json(payload), encoding="utf-8")
+    return target

@@ -1,0 +1,541 @@
+"""Thousand-peer scale-out scenarios: topology × workload × churn × routing.
+
+The original harness (:mod:`repro.harness.experiment`) stands up tens of
+peers on hand-built populations.  This module composes the parametric
+pieces added for scale-out — topology generators
+(:mod:`repro.network.topology`), churn profiles
+(:mod:`repro.network.failures`), the batched MQP pipeline
+(:meth:`repro.mqp.processor.MQPProcessor.process_batch`) — into named,
+seeded scenarios of 1,000+ peers, runs them on the deterministic simulator,
+and reduces the outcome to a JSON-ready report.
+
+A scenario is fully described by a :class:`ScaleoutSpec`; the CLI
+(:mod:`repro.harness.cli`) is a thin argument parser over this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Callable
+
+from ..algebra import PlanBuilder, QueryPlan
+from ..catalog import ServerRole
+from ..errors import SimulationError
+from ..mqp import QueryPreferences
+from ..namespace import (
+    CategoryPath,
+    InterestArea,
+    InterestAreaURN,
+    InterestCell,
+    MultiHierarchicNamespace,
+)
+from ..network import (
+    CHURN_PROFILES,
+    ChurnPlan,
+    FailureInjector,
+    LatencyModel,
+    Network,
+    TOPOLOGY_KINDS,
+    Topology,
+    build_topology,
+)
+from ..peers import (
+    BaseServer,
+    ClientPeer,
+    IndexServer,
+    MetaIndexServer,
+    QueryPeer,
+    register_offline,
+    seed_with_meta_index,
+)
+from ..routing import GnutellaPeer, NapsterIndexServer, NapsterPeer, RoutingIndexPeer
+from ..workloads import (
+    GarageSaleConfig,
+    GarageSaleWorkload,
+    GeneExpressionConfig,
+    GeneExpressionWorkload,
+    QueryWorkload,
+)
+from ..xmlmodel import XMLElement
+from .experiment import item_cell, query_plan_for
+
+__all__ = [
+    "ScaleoutSpec",
+    "ScaleoutScenario",
+    "WORKLOAD_KINDS",
+    "ROUTING_KINDS",
+    "build_scaleout_scenario",
+    "run_scaleout",
+]
+
+WORKLOAD_KINDS = ("garage-sale", "gene-expression")
+ROUTING_KINDS = ("mqp", "gnutella", "napster", "routing-index")
+
+
+@dataclass(frozen=True)
+class ScaleoutSpec:
+    """Everything that defines a scale-out run (and seeds its determinism).
+
+    ``peers`` counts the *data-serving* peers; the infrastructure the
+    routing strategy needs on top (index servers, a meta-index, the client,
+    a central Napster index, …) is derived and reported separately.
+    """
+
+    name: str = "custom"
+    topology: str = "scale-free"
+    peers: int = 1000
+    workload: str = "gene-expression"
+    churn: str = "none"
+    routing: str = "mqp"
+    queries: int = 12
+    seed: int = 11
+    batch: bool = True
+    batch_window_ms: float = 5.0
+    churn_window_ms: tuple[float, float] = (200.0, 4_000.0)
+    query_interval_ms: float = 400.0
+    prefer: str = "complete"
+    max_hops: int = 48
+
+    def validate(self) -> None:
+        """Fail fast on values the builders cannot honour."""
+        if self.topology not in TOPOLOGY_KINDS:
+            raise SimulationError(f"unknown topology {self.topology!r}: use one of {TOPOLOGY_KINDS}")
+        if self.workload not in WORKLOAD_KINDS:
+            raise SimulationError(f"unknown workload {self.workload!r}: use one of {WORKLOAD_KINDS}")
+        if self.routing not in ROUTING_KINDS:
+            raise SimulationError(f"unknown routing {self.routing!r}: use one of {ROUTING_KINDS}")
+        if self.churn not in CHURN_PROFILES:
+            raise SimulationError(
+                f"unknown churn profile {self.churn!r}: use one of {tuple(sorted(CHURN_PROFILES))}"
+            )
+        if self.peers < 4:
+            raise SimulationError("scale-out scenarios need at least 4 peers")
+        if self.queries < 1:
+            raise SimulationError("at least one query is required")
+
+
+@dataclass
+class _DataPeer:
+    """One data-serving peer of either workload, strategy-agnostic."""
+
+    address: str
+    area: InterestArea
+    items: list[XMLElement] = field(default_factory=list)
+
+
+@dataclass
+class _Query:
+    """One generated query with its ground truth.
+
+    ``plan_for`` maps a target address to the MQP :class:`QueryPlan`
+    (baseline strategies query by area and ignore it).
+    """
+
+    area: InterestArea
+    expected: int
+    plan_for: Callable[[str], QueryPlan]
+
+
+@dataclass
+class ScaleoutScenario:
+    """A built (but not yet run) scale-out scenario."""
+
+    spec: ScaleoutSpec
+    network: Network
+    namespace: MultiHierarchicNamespace
+    topology: Topology
+    data_peers: list[_DataPeer]
+    queries: list[_Query]
+    churn_plan: ChurnPlan | None = None
+    # Strategy-specific handles:
+    client: object | None = None
+    index_servers: list[QueryPeer] = field(default_factory=list)
+    meta_index: QueryPeer | None = None
+    napster_index: NapsterIndexServer | None = None
+    registrations: int = 0
+
+    @property
+    def total_peers(self) -> int:
+        """Every node registered on the network."""
+        return len(self.network.addresses())
+
+
+# --------------------------------------------------------------------------- #
+# Workload population
+# --------------------------------------------------------------------------- #
+
+
+def _garage_sale_population(spec: ScaleoutSpec) -> tuple[
+    MultiHierarchicNamespace, list[_DataPeer], list[_Query]
+]:
+    workload = GarageSaleWorkload(
+        GarageSaleConfig(sellers=spec.peers, mean_items_per_seller=6.0, seed=spec.seed)
+    )
+    namespace = workload.namespace
+    peers = [
+        _DataPeer(seller.address, seller.area, list(seller.items))
+        for seller in workload.sellers
+    ]
+    generator = QueryWorkload(namespace, seed=spec.seed + 1, price_ceiling_range=None)
+    queries: list[_Query] = []
+    for query_spec in generator.batch(spec.queries):
+        expected = workload.ground_truth_count(query_spec.area, None)
+        queries.append(
+            _Query(
+                area=query_spec.area,
+                expected=expected,
+                plan_for=(lambda target, q=query_spec: query_plan_for(q, target, include_price=False)),
+            )
+        )
+    return namespace, peers, queries
+
+
+def _gene_query_plan(area: InterestArea, target: str) -> QueryPlan:
+    """An MQP for a gene-expression area query: URN plus organism/cellType filter."""
+    urn = str(InterestAreaURN.for_area(area))
+    predicates: list[str] = []
+    for cell in area:
+        organism, cell_type = cell.coordinates
+        conjuncts = []
+        if not organism.is_top:
+            conjuncts.append(f"organism contains '{organism}'")
+        if not cell_type.is_top:
+            conjuncts.append(f"cellType contains '{cell_type}'")
+        if conjuncts:
+            predicates.append("(" + " and ".join(conjuncts) + ")")
+    builder = PlanBuilder.urn(urn)
+    if predicates:
+        builder = builder.select(" or ".join(predicates))
+    return builder.display(target)
+
+
+def _gene_expression_population(spec: ScaleoutSpec) -> tuple[
+    MultiHierarchicNamespace, list[_DataPeer], list[_Query]
+]:
+    workload = GeneExpressionWorkload(
+        GeneExpressionConfig(
+            extra_repositories=max(0, spec.peers - 3),
+            records_per_cell=2,
+            seed=spec.seed,
+        )
+    )
+    namespace = workload.namespace
+    peers = [
+        _DataPeer(repository.address, repository.area, list(repository.records))
+        for repository in workload.repositories
+    ]
+    queries: list[_Query] = []
+    # The canonical Figure 1 query always leads the batch.
+    areas = [workload.mammalian_cardiac_query_area()]
+    generator = QueryWorkload(
+        namespace, location_level=3, category_level=1, seed=spec.seed + 1, price_ceiling_range=None
+    )
+    areas.extend(query_spec.area for query_spec in generator.batch(max(0, spec.queries - 1)))
+    for area in areas:
+        expected = len(workload.matching_records(area))
+        queries.append(
+            _Query(
+                area=area,
+                expected=expected,
+                plan_for=(lambda target, a=area: _gene_query_plan(a, target)),
+            )
+        )
+    return namespace, peers, queries
+
+
+_POPULATIONS = {
+    "garage-sale": _garage_sale_population,
+    "gene-expression": _gene_expression_population,
+}
+
+
+# --------------------------------------------------------------------------- #
+# Strategy-specific network construction
+# --------------------------------------------------------------------------- #
+
+
+def _index_areas(namespace: MultiHierarchicNamespace, data_peers: list[_DataPeer]) -> list[InterestArea]:
+    """One authoritative index area per populated second-level region.
+
+    Both built-in namespaces put the meaningful fan-out at depth 2 of their
+    first dimension (states for Location, major clades for Organism), so
+    each populated depth-2 prefix gets an authoritative index server over
+    ``[prefix, *]``, mirroring the per-state indexes of the seed scenarios.
+    """
+    prefixes: set[tuple[str, ...]] = set()
+    for peer in data_peers:
+        for cell in peer.area:
+            segments = cell.coordinate(0).segments
+            if len(segments) >= 2:
+                prefixes.add(tuple(segments[:2]))
+    return [
+        InterestArea([InterestCell((CategoryPath(list(prefix)), CategoryPath()))])
+        for prefix in sorted(prefixes)
+    ]
+
+
+def _build_mqp_network(spec: ScaleoutSpec, scenario: ScaleoutScenario) -> None:
+    network = scenario.network
+    namespace = scenario.namespace
+
+    base_servers: list[BaseServer] = []
+    for data_peer in scenario.data_peers:
+        server = BaseServer(data_peer.address, namespace, data_peer.area)
+        network.register(server)
+        server.publish_collection("items", data_peer.items)
+        base_servers.append(server)
+
+    for position, area in enumerate(_index_areas(namespace, scenario.data_peers)):
+        index_server = IndexServer(f"index-{position:02d}:9020", namespace, area, authoritative=True)
+        network.register(index_server)
+        scenario.index_servers.append(index_server)
+
+    meta_index = MetaIndexServer("meta-index:9020", namespace, authoritative=True)
+    network.register(meta_index)
+    scenario.meta_index = meta_index
+
+    client = ClientPeer("client:9020", namespace)
+    network.register(client)
+    scenario.client = client
+
+    peers: list[QueryPeer] = [*base_servers, *scenario.index_servers, meta_index, client]
+    scenario.registrations = register_offline(peers)
+    seed_with_meta_index([client], [meta_index])
+
+    # The overlay shapes out-of-band discovery among *serving* peers:
+    # neighbours know each other's catalog entries, so mid-route binding
+    # and candidate choice reflect the topology.  The client stays seeded
+    # with the meta-index only — binding a namespace-wide area against a
+    # handful of random neighbours would masquerade as a complete answer.
+    by_address = {peer.address: peer for peer in peers}
+    for first, second in sorted(scenario.topology.graph.edges):
+        if client.address in (first, second):
+            continue
+        if first in by_address and second in by_address:
+            by_address[first].learn_about(by_address[second].server_entry())
+            by_address[second].learn_about(by_address[first].server_entry())
+
+    for peer in peers:
+        peer.processor.max_hops = spec.max_hops
+        if spec.batch:
+            peer.enable_batching(spec.batch_window_ms)
+
+
+def _build_overlay_network(spec: ScaleoutSpec, scenario: ScaleoutScenario) -> None:
+    """Gnutella or routing-index: data peers plus a client on the overlay."""
+    network = scenario.network
+    namespace = scenario.namespace
+    peers = []
+    for data_peer in scenario.data_peers:
+        if spec.routing == "gnutella":
+            peer = GnutellaPeer(data_peer.address, scenario.topology)
+        else:
+            peer = RoutingIndexPeer(data_peer.address, namespace, scenario.topology)
+        network.register(peer)
+        for item in data_peer.items:
+            peer.add_items(_cell_for_item(namespace, spec.workload, item), [item])
+        peers.append(peer)
+    if spec.routing == "gnutella":
+        client = GnutellaPeer("client:9020", scenario.topology)
+    else:
+        client = RoutingIndexPeer("client:9020", namespace, scenario.topology)
+    network.register(client)
+    scenario.client = client
+    if spec.routing == "routing-index":
+        for peer in [*peers, client]:
+            peer.advertise()
+        network.run_until_idle()
+
+
+def _build_napster_network(spec: ScaleoutSpec, scenario: ScaleoutScenario) -> None:
+    network = scenario.network
+    namespace = scenario.namespace
+    index = NapsterIndexServer("central-index:9020")
+    network.register(index)
+    scenario.napster_index = index
+    for data_peer in scenario.data_peers:
+        peer = NapsterPeer(data_peer.address, index.address)
+        network.register(peer)
+        for item in data_peer.items:
+            peer.publish(_cell_for_item(namespace, spec.workload, item), [item])
+    client = NapsterPeer("client:9020", index.address)
+    network.register(client)
+    scenario.client = client
+    network.run_until_idle()  # flush publish traffic before measuring queries
+
+
+def _cell_for_item(
+    namespace: MultiHierarchicNamespace, workload: str, item: XMLElement
+) -> InterestCell:
+    if workload == "garage-sale":
+        return item_cell(namespace, item)
+    return InterestCell(
+        (
+            namespace.dimensions[0].approximate(item.child_text("organism") or "*"),
+            namespace.dimensions[1].approximate(item.child_text("cellType") or "*"),
+        )
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Building and running
+# --------------------------------------------------------------------------- #
+
+
+def build_scaleout_scenario(spec: ScaleoutSpec) -> ScaleoutScenario:
+    """Stand up the full scenario: population, overlay, strategy, churn."""
+    spec.validate()
+    namespace, data_peers, queries = _POPULATIONS[spec.workload](spec)
+
+    addresses = [peer.address for peer in data_peers] + ["client:9020"]
+    topology = build_topology(spec.topology, addresses, seed=spec.seed)
+
+    # Failure detection (and therefore plan rerouting) is an MQP capability;
+    # the baselines experience churn as silent message loss.
+    network = Network(
+        latency=LatencyModel(seed=spec.seed),
+        notify_unreachable=(spec.routing == "mqp"),
+    )
+    scenario = ScaleoutScenario(
+        spec=spec,
+        network=network,
+        namespace=namespace,
+        topology=topology,
+        data_peers=data_peers,
+        queries=queries,
+    )
+
+    if spec.routing == "mqp":
+        _build_mqp_network(spec, scenario)
+    elif spec.routing in ("gnutella", "routing-index"):
+        _build_overlay_network(spec, scenario)
+    else:
+        _build_napster_network(spec, scenario)
+
+    profile = CHURN_PROFILES[spec.churn]
+    if profile.churn_fraction > 0.0:
+        injector = FailureInjector(network)
+        churned = [peer.address for peer in data_peers]
+        scenario.churn_plan = injector.schedule_churn(
+            churned, profile, window_ms=spec.churn_window_ms, seed=spec.seed + 2
+        )
+    return scenario
+
+
+def _issue_mqp_query(scenario: ScaleoutScenario, query: _Query, label: str) -> str:
+    client: ClientPeer = scenario.client  # type: ignore[assignment]
+    plan = query.plan_for(client.address)
+    preferences = QueryPreferences(prefer=scenario.spec.prefer)
+    # Explicit id: the default ids come from a process-global counter, and
+    # their width leaks into serialized plan sizes (and thus transfer
+    # times), breaking run-to-run determinism within one process.
+    mqp = client.issue_query(
+        plan, preferences, expected_answers=query.expected, query_id=label
+    )
+    return mqp.query_id
+
+
+def _issue_baseline_query(scenario: ScaleoutScenario, query: _Query, label: str) -> str:
+    client = scenario.client
+    if scenario.spec.routing == "gnutella":
+        query_id = client.issue_query(query.area, horizon=3, query_id=label)
+    elif scenario.spec.routing == "routing-index":
+        query_id = client.issue_query(
+            query.area, wanted=max(10, query.expected), query_id=label
+        )
+    else:
+        query_id = client.issue_query(query.area, query_id=label)
+    scenario.network.metrics.trace(query_id).expected_answers = query.expected
+    return query_id
+
+
+def run_scaleout(spec: ScaleoutSpec) -> dict[str, object]:
+    """Build a scenario, run its query schedule under churn, return the report.
+
+    Queries are issued ``query_interval_ms`` apart so they interleave with
+    the churn window instead of racing ahead of it; the simulator then runs
+    to quiescence.  Everything in the returned report is derived from
+    seeded state, so the same spec always yields the same document.
+    """
+    scenario = build_scaleout_scenario(spec)
+    network = scenario.network
+
+    issue = _issue_mqp_query if spec.routing == "mqp" else _issue_baseline_query
+    query_ids: list[str] = []
+    # Building may already have advanced the clock (publish/advertise
+    # traffic), so the query schedule starts from "now".
+    start = network.simulator.now
+    for position, query in enumerate(scenario.queries):
+        at = start + position * spec.query_interval_ms
+        label = f"{spec.name}-q{position}"
+
+        def fire(query=query, label=label) -> None:
+            query_ids.append(issue(scenario, query, label))
+
+        network.simulator.schedule_at(at, fire)
+    network.run_until_idle()
+
+    for query_id in query_ids:
+        trace = network.metrics.trace(query_id)
+        if trace.completed_at is None:
+            trace.completed_at = network.simulator.now
+
+    return _report(scenario, query_ids)
+
+
+def _report(scenario: ScaleoutScenario, query_ids: list[str]) -> dict[str, object]:
+    spec = scenario.spec
+    network = scenario.network
+    summary = {key: round(value, 3) for key, value in network.metrics.summary().items()}
+
+    query_rows = []
+    for position, query_id in enumerate(query_ids):
+        trace = network.metrics.trace(query_id)
+        query_rows.append(
+            {
+                # Positional label, not the raw id: plan ids come from a
+                # process-global counter and would break run-to-run
+                # determinism of the report.
+                "query": f"q{position}",
+                "answers": trace.answers,
+                "expected": trace.expected_answers,
+                "recall": round(trace.recall, 3) if trace.recall is not None else None,
+                "latency_ms": round(trace.latency_ms, 3) if trace.latency_ms is not None else None,
+                "peers_visited": trace.distinct_peers,
+                "messages": trace.messages,
+            }
+        )
+
+    report: dict[str, object] = {
+        "scenario": asdict(spec),
+        "population": {
+            "data_peers": len(scenario.data_peers),
+            "index_servers": len(scenario.index_servers),
+            "meta_index_servers": 1 if scenario.meta_index is not None else 0,
+            "clients": 1,
+            "total_nodes": scenario.total_peers,
+            "registrations": scenario.registrations,
+        },
+        "topology": scenario.topology.summary(),
+        "churn": scenario.churn_plan.summary()
+        if scenario.churn_plan is not None
+        else {"profile": spec.churn, "events": 0, "leaves": 0, "crashes": 0, "rejoins": 0},
+        "traffic": summary,
+        "queries": query_rows,
+    }
+
+    if spec.routing == "mqp":
+        peers: list[QueryPeer] = [
+            node for node in network.nodes() if isinstance(node, QueryPeer)
+        ]
+        report["processing"] = {
+            "plans_processed": sum(peer.plans_processed for peer in peers),
+            "plans_forwarded": sum(peer.plans_forwarded for peer in peers),
+            "plans_stuck": sum(peer.plans_stuck for peer in peers),
+            "plans_rerouted": sum(peer.plans_rerouted for peer in peers),
+            "plans_lost_in_crash": sum(peer.plans_lost_in_crash for peer in peers),
+            "dead_letters": sum(len(peer.dead_letters) for peer in peers),
+            "batches": sum(peer.batches_processed for peer in peers),
+            "eval_memo_hits": sum(peer.processor.eval_memo_hits for peer in peers),
+        }
+    return report

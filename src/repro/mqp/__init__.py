@@ -2,7 +2,7 @@
 
 from .plan import MutantQueryPlan, QueryPreferences
 from .policy import PolicyDecision, PolicyManager
-from .processor import MQPProcessor, ProcessingAction, ProcessingResult
+from .processor import BatchContext, MQPProcessor, ProcessingAction, ProcessingResult
 from .provenance import ProvenanceAction, ProvenanceLog, ProvenanceRecord
 
 __all__ = [
@@ -14,6 +14,7 @@ __all__ = [
     "PolicyManager",
     "PolicyDecision",
     "MQPProcessor",
+    "BatchContext",
     "ProcessingAction",
     "ProcessingResult",
 ]

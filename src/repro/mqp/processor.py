@@ -13,11 +13,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Sequence
+from typing import Collection, Sequence
 
 from ..algebra.operators import LeafNode, PlanNode, URLRef, URNRef, VerbatimData
 from ..catalog import Binder, Catalog, RoutingCache, ServerRole
-from ..engine import QueryEngine
+from ..engine import EvaluationMemo, QueryEngine
 from ..engine.statistics import collect_statistics
 from ..errors import RoutingError, URNError
 from ..namespace import InterestAreaURN, MultiHierarchicNamespace, NamedURN, parse_urn
@@ -27,7 +27,7 @@ from .plan import MutantQueryPlan
 from .policy import PolicyManager
 from .provenance import ProvenanceAction
 
-__all__ = ["ProcessingAction", "ProcessingResult", "MQPProcessor"]
+__all__ = ["ProcessingAction", "ProcessingResult", "BatchContext", "MQPProcessor"]
 
 
 class ProcessingAction(str, Enum):
@@ -49,6 +49,27 @@ class ProcessingResult:
     bound_urns: int = 0
     evaluated_subplans: int = 0
     route_candidates: list[str] = field(default_factory=list)
+
+
+@dataclass
+class BatchContext:
+    """Work shared across the plans of one batch (the scale-out fast path).
+
+    Everything a peer computes during one pipeline pass that depends only
+    on the *catalog* and the *plan structure* — not on the individual plan
+    instance — is cached here: parsed URNs, named-resource lookups, interest
+    area bindings, routing candidate scans, and evaluated sub-plan results.
+    At a thousand peers the catalog scans and sub-plan evaluations dominate
+    the per-hop cost, so amortizing them across a batch of same-shaped plans
+    is where the batched pipeline earns its throughput.
+    """
+
+    memo: EvaluationMemo = field(default_factory=EvaluationMemo)
+    parsed_urns: dict[str, object] = field(default_factory=dict)
+    named_entries: dict[str, object] = field(default_factory=dict)
+    bindings: dict[str, object] = field(default_factory=dict)
+    routing_servers: dict[str, list[str]] = field(default_factory=dict)
+    indexers: list[str] | None = None
 
 
 class MQPProcessor:
@@ -77,6 +98,8 @@ class MQPProcessor:
         self.max_hops = max_hops
         self.binder = Binder(catalog)
         self.processed_plans = 0
+        self.batches_processed = 0
+        self.eval_memo_hits = 0
 
     # ------------------------------------------------------------------ #
     # Local data availability
@@ -116,13 +139,24 @@ class MQPProcessor:
     # The pipeline
     # ------------------------------------------------------------------ #
 
-    def process(self, mqp: MutantQueryPlan, now: float = 0.0) -> ProcessingResult:
-        """Run the full Figure-2 pipeline once and decide what happens next."""
+    def process(
+        self,
+        mqp: MutantQueryPlan,
+        now: float = 0.0,
+        avoid: Collection[str] = (),
+        context: BatchContext | None = None,
+    ) -> ProcessingResult:
+        """Run the full Figure-2 pipeline once and decide what happens next.
+
+        ``avoid`` lists servers the hosting peer currently believes dead
+        (churn); they are excluded from routing.  ``context`` shares cached
+        catalog lookups and evaluation results across the plans of a batch.
+        """
         self.processed_plans += 1
         route_candidates: list[str] = []
 
-        bound = self._bind_urns(mqp, now, route_candidates)
-        evaluated = self._optimize_and_evaluate(mqp, now)
+        bound = self._bind_urns(mqp, now, route_candidates, context)
+        evaluated = self._optimize_and_evaluate(mqp, now, context)
 
         if mqp.is_fully_evaluated():
             return ProcessingResult(
@@ -140,10 +174,10 @@ class MQPProcessor:
                 evaluated_subplans=evaluated,
             )
 
-        urn_candidates, data_candidates = self._candidates_for_remaining(mqp)
+        urn_candidates, data_candidates = self._candidates_for_remaining(mqp, context)
         route_candidates.extend(urn_candidates)
-        ordered = self._order_candidates(route_candidates + data_candidates)
-        revisitable = self._order_candidates(data_candidates)
+        ordered = self._order_candidates(route_candidates + data_candidates, avoid)
+        revisitable = self._order_candidates(data_candidates, avoid)
         next_hop = self.policy.choose_next_hop(
             ordered, mqp.provenance.visited_servers(), revisitable=revisitable
         )
@@ -165,25 +199,68 @@ class MQPProcessor:
             route_candidates=ordered,
         )
 
+    def process_batch(
+        self,
+        mqps: Sequence[MutantQueryPlan],
+        now: float = 0.0,
+        avoid: Collection[str] = (),
+        context: BatchContext | None = None,
+    ) -> list[ProcessingResult]:
+        """Run the pipeline over a batch of plans, amortizing shared work.
+
+        All plans are assumed to have arrived at this peer within one
+        simulated tick and are processed against the catalog state at the
+        *start* of the batch: URN parses, named-resource lookups, area
+        bindings, routing-candidate scans and sub-plan evaluations are each
+        performed once per distinct input and reused across the batch.
+        Results come back in input order.  (Strictly sequential processing
+        could interleave :meth:`learn_from` feedback between plans; the
+        batch treats the tick as one instant, so that feedback — applied by
+        the peer after the batch — lands before the *next* tick instead.)
+        """
+        context = context if context is not None else BatchContext()
+        hits_before = context.memo.hits
+        results = [self.process(mqp, now=now, avoid=avoid, context=context) for mqp in mqps]
+        self.batches_processed += 1
+        self.eval_memo_hits += context.memo.hits - hits_before
+        return results
+
     # ------------------------------------------------------------------ #
     # Stage 1: URN binding via the catalog
     # ------------------------------------------------------------------ #
 
+    def _parse_urn(self, urn: str, context: BatchContext | None):
+        """Parse a URN string, memoizing per batch (``None`` = unparseable)."""
+        if context is None:
+            try:
+                return parse_urn(urn)
+            except URNError:
+                return None
+        if urn not in context.parsed_urns:
+            try:
+                context.parsed_urns[urn] = parse_urn(urn)
+            except URNError:
+                context.parsed_urns[urn] = None
+        return context.parsed_urns[urn]
+
     def _bind_urns(
-        self, mqp: MutantQueryPlan, now: float, route_candidates: list[str]
+        self,
+        mqp: MutantQueryPlan,
+        now: float,
+        route_candidates: list[str],
+        context: BatchContext | None = None,
     ) -> int:
         bound = 0
         for ref in list(mqp.plan.urn_refs()):
-            try:
-                parsed = parse_urn(ref.urn)
-            except URNError:
+            parsed = self._parse_urn(ref.urn, context)
+            if parsed is None:
                 continue
             replacement: PlanNode | None = None
             staleness = 0.0
             if isinstance(parsed, NamedURN):
-                replacement = self._bind_named(parsed, route_candidates)
+                replacement = self._bind_named(parsed, route_candidates, context)
             elif isinstance(parsed, InterestAreaURN):
-                replacement, staleness = self._bind_area(parsed, mqp, route_candidates)
+                replacement, staleness = self._bind_area(parsed, mqp, route_candidates, context)
             if replacement is None:
                 continue
             mqp.plan.replace_node(ref, replacement)
@@ -197,14 +274,23 @@ class MQPProcessor:
             bound += 1
         return bound
 
-    def _lookup_named(self, urn: NamedURN):
+    def _lookup_named(self, urn: NamedURN, context: BatchContext | None = None):
         """Look a named URN up under both its full form and its bare name."""
-        return self.catalog.lookup_named(str(urn)) or self.catalog.lookup_named(urn.name)
+        if context is None:
+            return self.catalog.lookup_named(str(urn)) or self.catalog.lookup_named(urn.name)
+        key = str(urn)
+        if key not in context.named_entries:
+            context.named_entries[key] = self.catalog.lookup_named(key) or self.catalog.lookup_named(
+                urn.name
+            )
+        return context.named_entries[key]
 
-    def _bind_named(self, urn: NamedURN, route_candidates: list[str]) -> PlanNode | None:
-        entry = self._lookup_named(urn)
+    def _bind_named(
+        self, urn: NamedURN, route_candidates: list[str], context: BatchContext | None = None
+    ) -> PlanNode | None:
+        entry = self._lookup_named(urn, context)
         if entry is None:
-            route_candidates.extend(self._known_indexers())
+            route_candidates.extend(self._known_indexers(context))
             return None
         route_candidates.extend(entry.resolver_servers)
         if not entry.collections:
@@ -223,10 +309,17 @@ class MQPProcessor:
         urn: InterestAreaURN,
         mqp: MutantQueryPlan,
         route_candidates: list[str],
+        context: BatchContext | None = None,
     ) -> tuple[PlanNode | None, float]:
-        binding = self.binder.bind_area(urn.area)
+        if context is None:
+            binding = self.binder.bind_area(urn.area)
+        else:
+            area_key = str(urn.area)
+            if area_key not in context.bindings:
+                context.bindings[area_key] = self.binder.bind_area(urn.area)
+            binding = context.bindings[area_key]
         if binding is None:
-            route_candidates.extend(self._routing_servers_for(urn.area))
+            route_candidates.extend(self._routing_servers_for(urn.area, context))
             return None, 0.0
         alternative = self.policy.choose_alternative(binding, mqp.preferences)
         for source in alternative.sources:
@@ -235,21 +328,30 @@ class MQPProcessor:
         if not alternative.is_concrete:
             # Partially routable alternative: keep the URN so a downstream
             # server can finish the binding, but remember where to go.
-            route_candidates.extend(self._routing_servers_for(urn.area))
+            route_candidates.extend(self._routing_servers_for(urn.area, context))
             return None, 0.0
         return alternative.to_plan_node(str(urn)), alternative.max_delay_minutes
 
-    def _known_indexers(self) -> list[str]:
+    def _known_indexers(self, context: BatchContext | None = None) -> list[str]:
         """Every index / meta-index server this catalog knows about."""
-        entries = [
+        if context is not None and context.indexers is not None:
+            return context.indexers
+        entries = sorted(
             entry.address
             for entry in self.catalog.servers.values()
             if entry.role in (ServerRole.INDEX, ServerRole.META_INDEX)
             and entry.address != self.address
-        ]
-        return sorted(entries)
+        )
+        if context is not None:
+            context.indexers = entries
+        return entries
 
-    def _routing_servers_for(self, area) -> list[str]:
+    def _routing_servers_for(self, area, context: BatchContext | None = None) -> list[str]:
+        if context is not None:
+            area_key = str(area)
+            cached = context.routing_servers.get(area_key)
+            if cached is not None:
+                return cached
         candidates: list[str] = []
         for entry in self.cache.lookup(area, require_cover=True):
             candidates.append(entry.server)
@@ -259,13 +361,18 @@ class MQPProcessor:
             area, roles=(ServerRole.INDEX, ServerRole.META_INDEX)
         ):
             candidates.append(entry.address)
-        return [address for address in candidates if address != self.address]
+        result = [address for address in candidates if address != self.address]
+        if context is not None:
+            context.routing_servers[str(area)] = result
+        return result
 
     # ------------------------------------------------------------------ #
     # Stages 2-4: optimize, policy, evaluate, reduce
     # ------------------------------------------------------------------ #
 
-    def _optimize_and_evaluate(self, mqp: MutantQueryPlan, now: float) -> int:
+    def _optimize_and_evaluate(
+        self, mqp: MutantQueryPlan, now: float, context: BatchContext | None = None
+    ) -> int:
         outcome = self.optimizer.optimize(mqp.plan, self._leaf_available)
         if outcome.fired_rules:
             mqp.provenance.add(
@@ -280,11 +387,13 @@ class MQPProcessor:
         engine = QueryEngine(resolver=self._resolve_local_leaf)
         evaluated = 0
         for subplan in decision.evaluate:
-            items = engine.evaluate(subplan)
-            leaf = mqp.plan.substitute_result(subplan, items)
-            if self.annotate_statistics:
-                stats = collect_statistics(items)
-                for key, value in stats.to_annotations().items():
+            items, annotations = self._evaluate_subplan(engine, subplan, context)
+            # Batched plans share the memoized items by reference; nothing
+            # downstream mutates them (forwarding serializes, delivery
+            # copies), so the per-plan deep copy is skipped.
+            leaf = mqp.plan.substitute_result(subplan, items, copy_items=context is None)
+            if annotations:
+                for key, value in annotations.items():
                     leaf.annotate(key, value)
             mqp.provenance.add(
                 self.address,
@@ -295,11 +404,41 @@ class MQPProcessor:
             evaluated += 1
         return evaluated
 
+    def _evaluate_subplan(
+        self, engine: QueryEngine, subplan: PlanNode, context: BatchContext | None
+    ) -> tuple[list[XMLElement], dict[str, str] | None]:
+        """Evaluate one sub-plan, sharing results and statistics per batch.
+
+        Structurally identical sub-plans across the plans of a batch reduce
+        to the same items over the same local collections, so both the
+        evaluation and the (equally expensive) statistics collection run
+        once per distinct shape.
+        """
+        if context is None:
+            items = engine.evaluate(subplan)
+            if not self.annotate_statistics:
+                return items, None
+            return items, collect_statistics(items).to_annotations()
+        key = context.memo.key_for(subplan)
+        items = context.memo.lookup(key)
+        if items is None:
+            items = engine.evaluate(subplan)
+            context.memo.store(key, items)
+        annotations = None
+        if self.annotate_statistics:
+            annotations = context.memo.annotations_for(key)
+            if annotations is None:
+                annotations = collect_statistics(items).to_annotations()
+                context.memo.store_annotations(key, annotations)
+        return items, annotations
+
     # ------------------------------------------------------------------ #
     # Stage 5: routing candidates for whatever is left
     # ------------------------------------------------------------------ #
 
-    def _candidates_for_remaining(self, mqp: MutantQueryPlan) -> tuple[list[str], list[str]]:
+    def _candidates_for_remaining(
+        self, mqp: MutantQueryPlan, context: BatchContext | None = None
+    ) -> tuple[list[str], list[str]]:
         """Candidates split into (URN-routing servers, data-holding servers).
 
         Data-holding servers may be revisited: a leaf that was not reducible
@@ -313,26 +452,27 @@ class MQPProcessor:
             if not self._is_local_url(ref):
                 data_candidates.append(ref.url.removeprefix("http://"))
         for ref in mqp.plan.urn_refs():
-            try:
-                parsed = parse_urn(ref.urn)
-            except URNError:
+            parsed = self._parse_urn(ref.urn, context)
+            if parsed is None:
                 continue
             if isinstance(parsed, InterestAreaURN):
-                urn_candidates.extend(self._routing_servers_for(parsed.area))
+                urn_candidates.extend(self._routing_servers_for(parsed.area, context))
             elif isinstance(parsed, NamedURN):
-                entry = self._lookup_named(parsed)
+                entry = self._lookup_named(parsed, context)
                 if entry is not None:
                     urn_candidates.extend(entry.resolver_servers)
                     data_candidates.extend(collection.url for collection in entry.collections)
                 else:
-                    urn_candidates.extend(self._known_indexers())
+                    urn_candidates.extend(self._known_indexers(context))
         return urn_candidates, data_candidates
 
-    def _order_candidates(self, candidates: list[str]) -> list[str]:
+    def _order_candidates(
+        self, candidates: list[str], avoid: Collection[str] = ()
+    ) -> list[str]:
         ordered: list[str] = []
         for candidate in candidates:
             address = candidate.removeprefix("http://")
-            if address != self.address and address not in ordered:
+            if address != self.address and address not in ordered and address not in avoid:
                 ordered.append(address)
         return ordered
 

@@ -34,6 +34,16 @@ class CategoryPath:
     segments: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
+        # Coerce to tuple so list-constructed paths compare (and hash)
+        # equal to parsed ones — `segments[:n] == other.segments` prefix
+        # checks are type-sensitive otherwise.
+        if isinstance(self.segments, str):
+            raise NamespaceError(
+                f"segments must be a sequence of labels, got the string "
+                f"{self.segments!r}; use CategoryPath.parse for path text"
+            )
+        if not isinstance(self.segments, tuple):
+            object.__setattr__(self, "segments", tuple(self.segments))
         for segment in self.segments:
             if not segment or "/" in segment or segment == "*":
                 raise NamespaceError(f"invalid category segment: {segment!r}")

@@ -1,13 +1,29 @@
 """Simulated peer-to-peer network substrate (discrete-event, deterministic)."""
 
-from .failures import FailureEvent, FailureInjector
+from .failures import (
+    CHURN_PROFILES,
+    ChurnEvent,
+    ChurnPlan,
+    ChurnProfile,
+    FailureEvent,
+    FailureInjector,
+)
 from .latency import LatencyModel
 from .message import Message
 from .metrics import NetworkMetrics, QueryTrace
 from .network import Network
 from .node import NetworkNode
 from .simulator import Event, Simulator
-from .topology import Topology, random_topology, small_world_topology, star_topology
+from .topology import (
+    TOPOLOGY_KINDS,
+    Topology,
+    build_topology,
+    hierarchical_topology,
+    random_topology,
+    scale_free_topology,
+    small_world_topology,
+    star_topology,
+)
 
 __all__ = [
     "Simulator",
@@ -19,9 +35,17 @@ __all__ = [
     "NetworkMetrics",
     "QueryTrace",
     "Topology",
+    "TOPOLOGY_KINDS",
+    "build_topology",
     "random_topology",
+    "scale_free_topology",
     "small_world_topology",
+    "hierarchical_topology",
     "star_topology",
     "FailureInjector",
     "FailureEvent",
+    "ChurnProfile",
+    "ChurnEvent",
+    "ChurnPlan",
+    "CHURN_PROFILES",
 ]

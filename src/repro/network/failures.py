@@ -13,9 +13,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import SimulationError
 from .network import Network
 
-__all__ = ["FailureEvent", "FailureInjector"]
+__all__ = [
+    "FailureEvent",
+    "FailureInjector",
+    "ChurnProfile",
+    "ChurnEvent",
+    "ChurnPlan",
+    "CHURN_PROFILES",
+]
 
 
 @dataclass(frozen=True)
@@ -71,3 +79,126 @@ class FailureInjector:
     def failed_addresses(self) -> list[str]:
         """Addresses with at least one scheduled failure."""
         return sorted({event.address for event in self.events})
+
+    # ------------------------------------------------------------------ #
+    # Churn: profiled join / leave / crash schedules for scale-out runs
+    # ------------------------------------------------------------------ #
+
+    def schedule_churn(
+        self,
+        addresses: list[str],
+        profile: "ChurnProfile | str",
+        window_ms: tuple[float, float] = (100.0, 4_000.0),
+        seed: int = 13,
+    ) -> "ChurnPlan":
+        """Schedule a full churn plan over ``addresses``.
+
+        Peers selected by the profile either *leave* gracefully (the node's
+        ``leave()`` method runs, letting peers unregister before going
+        offline) or *crash* (``go_offline`` with no notice).  A profiled
+        fraction of the churned peers rejoin after their outage via
+        ``go_online`` — for :class:`~repro.peers.peer.QueryPeer` that
+        triggers registration re-propagation.
+        """
+        if isinstance(profile, str):
+            try:
+                profile = CHURN_PROFILES[profile]
+            except KeyError:
+                raise SimulationError(
+                    f"unknown churn profile {profile!r}; "
+                    f"expected one of {', '.join(sorted(CHURN_PROFILES))}"
+                ) from None
+        rng = np.random.default_rng(seed)
+        count = int(round(len(addresses) * profile.churn_fraction))
+        chosen = sorted(rng.choice(addresses, size=count, replace=False)) if count else []
+        events: list[ChurnEvent] = []
+        for address in chosen:
+            graceful = bool(rng.random() < profile.graceful_fraction)
+            rejoins = bool(rng.random() < profile.rejoin_fraction)
+            fail_at = float(rng.uniform(*window_ms))
+            recover_at = (
+                fail_at + float(rng.uniform(*profile.outage_ms)) if rejoins else None
+            )
+            events.append(ChurnEvent(address, "leave" if graceful else "crash", fail_at, recover_at))
+        plan = ChurnPlan(profile=profile, events=events)
+        for event in plan.events:
+            self._schedule_churn_event(event)
+        return plan
+
+    def _schedule_churn_event(self, event: "ChurnEvent") -> None:
+        node = self.network.node(event.address)
+        # Graceful leavers announce their departure when the node supports
+        # it (QueryPeer.leave unregisters from its indexers); crashes and
+        # plain NetworkNodes just drop off.
+        depart = getattr(node, "leave", node.go_offline) if event.kind == "leave" else node.go_offline
+        self.network.simulator.schedule_at(event.fail_at, depart)
+        if event.recover_at is not None:
+            self.network.simulator.schedule_at(event.recover_at, node.go_online)
+        self.events.append(FailureEvent(event.address, event.fail_at, event.recover_at))
+
+
+@dataclass(frozen=True)
+class ChurnProfile:
+    """How much and what kind of churn a scale-out scenario applies.
+
+    ``churn_fraction`` of peers depart during the window; of those,
+    ``graceful_fraction`` leave politely (unregistering) while the rest
+    crash silently, and ``rejoin_fraction`` come back after an outage drawn
+    uniformly from ``outage_ms``.
+    """
+
+    name: str
+    churn_fraction: float
+    graceful_fraction: float = 0.5
+    rejoin_fraction: float = 0.8
+    outage_ms: tuple[float, float] = (500.0, 2_000.0)
+
+    def __post_init__(self) -> None:
+        for fraction in (self.churn_fraction, self.graceful_fraction, self.rejoin_fraction):
+            if not 0.0 <= fraction <= 1.0:
+                raise SimulationError(f"churn fractions must be in [0, 1], got {fraction}")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One peer's scheduled departure (and optional rejoin)."""
+
+    address: str
+    kind: str  # "leave" (graceful) or "crash" (silent)
+    fail_at: float
+    recover_at: float | None = None
+
+
+@dataclass
+class ChurnPlan:
+    """Everything :meth:`FailureInjector.schedule_churn` decided."""
+
+    profile: ChurnProfile
+    events: list[ChurnEvent] = field(default_factory=list)
+
+    def summary(self) -> dict[str, object]:
+        """Flat description of the plan for experiment reports."""
+        return {
+            "profile": self.profile.name,
+            "events": len(self.events),
+            "leaves": sum(1 for event in self.events if event.kind == "leave"),
+            "crashes": sum(1 for event in self.events if event.kind == "crash"),
+            "rejoins": sum(1 for event in self.events if event.recover_at is not None),
+        }
+
+
+CHURN_PROFILES = {
+    "none": ChurnProfile("none", churn_fraction=0.0),
+    "light": ChurnProfile("light", churn_fraction=0.05, graceful_fraction=0.7, rejoin_fraction=0.9),
+    "moderate": ChurnProfile(
+        "moderate", churn_fraction=0.15, graceful_fraction=0.5, rejoin_fraction=0.8
+    ),
+    "heavy": ChurnProfile(
+        "heavy",
+        churn_fraction=0.35,
+        graceful_fraction=0.3,
+        rejoin_fraction=0.6,
+        outage_ms=(1_000.0, 5_000.0),
+    ),
+}
+"""Named churn intensities selectable from the experiment CLI."""

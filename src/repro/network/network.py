@@ -31,10 +31,14 @@ class Network:
         self,
         simulator: Simulator | None = None,
         latency: LatencyModel | None = None,
+        notify_unreachable: bool = False,
+        unreachable_delay_ms: float = 5.0,
     ) -> None:
         self.simulator = simulator or Simulator()
         self.latency = latency or LatencyModel()
         self.metrics = NetworkMetrics()
+        self.notify_unreachable = notify_unreachable
+        self.unreachable_delay_ms = unreachable_delay_ms
         self._nodes: dict[str, "NetworkNode"] = {}
 
     # -- membership --------------------------------------------------------- #
@@ -72,7 +76,7 @@ class Network:
         message.sent_at = self.simulator.now
         self.metrics.record_send(message)
         if message.recipient not in self._nodes:
-            self.metrics.record_drop(message)
+            self._drop(message)
             return
         delay = self.latency.delivery_delay(
             message.sender, message.recipient, message.size_bytes
@@ -82,9 +86,40 @@ class Network:
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.recipient)
         if node is None or not node.online:
-            self.metrics.record_drop(message)
+            self._drop(message)
             return
         node.receive(message)
+
+    def _drop(self, message: Message) -> None:
+        """Account for an undeliverable message; optionally tell the sender.
+
+        With ``notify_unreachable`` on, the sender learns of the failure
+        after a detection delay (modelling a connection timeout) via a
+        synthesized ``peer-unreachable`` message carrying the original.
+        Churn-aware peers use it to invalidate routing state and reroute
+        in-flight plans instead of losing them silently.
+        """
+        if message.kind == "peer-unreachable":
+            # Synthetic detection notices are bookkeeping, not traffic:
+            # they are neither send- nor drop-counted (one lost message
+            # must not record two drops), and never trigger further notices.
+            return
+        self.metrics.record_drop(message)
+        if not self.notify_unreachable:
+            return
+        sender = self._nodes.get(message.sender)
+        if sender is None:
+            return
+        notice = Message(
+            sender=message.recipient,
+            recipient=message.sender,
+            kind="peer-unreachable",
+            payload=message,
+            size_bytes=0,
+        )
+        self.simulator.schedule(
+            self.unreachable_delay_ms, lambda: self._deliver(notice)
+        )
 
     # -- convenience ------------------------------------------------------------- #
 

@@ -1,4 +1,4 @@
-"""Overlay topologies for the unstructured-P2P baselines.
+"""Overlay topologies for the unstructured-P2P baselines and scale-out runs.
 
 Catalog-based routing (the paper's proposal) does not need an overlay graph:
 peers contact the index / meta-index servers they know about.  The Gnutella
@@ -6,6 +6,14 @@ baseline, however, broadcasts along an unstructured overlay, and the routing
 index baseline forwards along overlay edges, so both need neighbour graphs.
 These builders produce deterministic graphs (seeded) over a list of peer
 addresses using ``networkx``.
+
+For thousand-peer experiments the parametric generators model the overlay
+shapes observed in deployed P2P systems: ``scale_free_topology``
+(Barabási–Albert preferential attachment — a few high-degree hubs, as in
+measured Gnutella snapshots), ``small_world_topology`` (Watts–Strogatz),
+and ``hierarchical_topology`` (an ISP-like core / point-of-presence / leaf
+tiering).  ``build_topology`` dispatches on a kind name so the experiment
+CLI can compose topology × workload × churn from strings.
 """
 
 from __future__ import annotations
@@ -14,7 +22,16 @@ import networkx as nx
 
 from ..errors import SimulationError
 
-__all__ = ["Topology", "random_topology", "small_world_topology", "star_topology"]
+__all__ = [
+    "Topology",
+    "TOPOLOGY_KINDS",
+    "build_topology",
+    "random_topology",
+    "scale_free_topology",
+    "small_world_topology",
+    "hierarchical_topology",
+    "star_topology",
+]
 
 
 class Topology:
@@ -49,6 +66,21 @@ class Topology:
         """True when every peer can reach every other peer."""
         return nx.is_connected(self.graph) if self.graph.number_of_nodes() else True
 
+    def max_degree(self) -> int:
+        """Largest degree in the overlay (hubs of scale-free graphs)."""
+        degrees = [degree for _, degree in self.graph.degree]
+        return max(degrees) if degrees else 0
+
+    def summary(self) -> dict[str, object]:
+        """Flat description of the overlay for experiment reports."""
+        return {
+            "nodes": self.graph.number_of_nodes(),
+            "edges": self.graph.number_of_edges(),
+            "average_degree": round(self.average_degree(), 3),
+            "max_degree": self.max_degree(),
+            "connected": self.is_connected(),
+        }
+
 
 def random_topology(addresses: list[str], degree: int = 4, seed: int = 11) -> Topology:
     """A connected random regular-ish overlay (Gnutella-style)."""
@@ -82,6 +114,61 @@ def small_world_topology(
     return Topology(graph)
 
 
+def scale_free_topology(addresses: list[str], attachment: int = 3, seed: int = 11) -> Topology:
+    """A Barabási–Albert preferential-attachment overlay.
+
+    Each arriving peer attaches to ``attachment`` existing peers with
+    probability proportional to their degree, producing the heavy-tailed
+    degree distribution measured in real unstructured P2P networks.  The
+    construction is connected by design and deterministic per seed.
+    """
+    count = len(addresses)
+    if count < 3:
+        return random_topology(addresses, seed=seed)
+    attachment = max(1, min(attachment, count - 1))
+    graph = nx.barabasi_albert_graph(count, attachment, seed=seed)
+    graph = nx.relabel_nodes(graph, dict(enumerate(addresses)))
+    return Topology(graph)
+
+
+def hierarchical_topology(
+    addresses: list[str],
+    core_size: int = 4,
+    pops_per_core: int = 4,
+    redundancy: int = 2,
+    seed: int = 11,
+) -> Topology:
+    """An ISP-like three-tier overlay: core ring, PoP routers, leaf peers.
+
+    The first ``core_size`` addresses form a fully meshed transit core; the
+    next ``core_size * pops_per_core`` addresses are points of presence,
+    each homed to ``redundancy`` core nodes; every remaining address is a
+    leaf attached to ``redundancy`` PoPs chosen round-robin (deterministic,
+    so the same address list and parameters always yield the same graph).
+    """
+    count = len(addresses)
+    core_size = max(1, core_size)
+    if count < core_size + 2:
+        return random_topology(addresses, seed=seed)
+    core = addresses[:core_size]
+    pop_count = min(core_size * pops_per_core, max(1, (count - core_size) // 2))
+    pops = addresses[core_size : core_size + pop_count]
+    leaves = addresses[core_size + pop_count :]
+
+    graph = nx.Graph()
+    graph.add_nodes_from(addresses)
+    for index, first in enumerate(core):
+        for second in core[index + 1 :]:
+            graph.add_edge(first, second)
+    for index, pop in enumerate(pops):
+        for offset in range(max(1, redundancy)):
+            graph.add_edge(pop, core[(index + offset) % len(core)])
+    for index, leaf in enumerate(leaves):
+        for offset in range(max(1, redundancy)):
+            graph.add_edge(leaf, pops[(index + offset) % len(pops)])
+    return Topology(graph)
+
+
 def star_topology(center: str, leaves: list[str]) -> Topology:
     """A hub-and-spoke overlay (the Napster-style central index)."""
     graph = nx.Graph()
@@ -89,6 +176,29 @@ def star_topology(center: str, leaves: list[str]) -> Topology:
     for leaf in leaves:
         graph.add_edge(center, leaf)
     return Topology(graph)
+
+
+TOPOLOGY_KINDS = ("scale-free", "small-world", "random", "hierarchical", "star")
+"""Topology kind names accepted by :func:`build_topology` (and the CLI)."""
+
+
+def build_topology(kind: str, addresses: list[str], seed: int = 11, **params) -> Topology:
+    """Build a named overlay over ``addresses`` — the CLI's dispatch point."""
+    if kind == "scale-free":
+        return scale_free_topology(addresses, seed=seed, **params)
+    if kind == "small-world":
+        return small_world_topology(addresses, seed=seed, **params)
+    if kind == "random":
+        return random_topology(addresses, seed=seed, **params)
+    if kind == "hierarchical":
+        return hierarchical_topology(addresses, seed=seed, **params)
+    if kind == "star":
+        if not addresses:
+            raise SimulationError("star topology needs at least one address")
+        return star_topology(addresses[0], addresses[1:], **params)
+    raise SimulationError(
+        f"unknown topology kind {kind!r}; expected one of {', '.join(TOPOLOGY_KINDS)}"
+    )
 
 
 def _ensure_connected(graph: nx.Graph, addresses: list[str]) -> None:

@@ -110,6 +110,17 @@ class QueryPeer(NetworkNode):
         self.plans_processed = 0
         self.plans_forwarded = 0
         self.plans_stuck = 0
+        # -- churn awareness ------------------------------------------------ #
+        self.registration_targets: list[str] = []
+        self.suspected_dead: set[str] = set()
+        self.plans_rerouted = 0
+        self.plans_lost_in_crash = 0
+        self.dead_letters: list[Message] = []
+        # -- batched processing --------------------------------------------- #
+        self.batch_window_ms: float | None = None
+        self.batches_processed = 0
+        self._mqp_buffer: list[str] = []
+        self._flush_scheduled = False
 
     # ------------------------------------------------------------------ #
     # Base-server behaviour: publishing data
@@ -186,6 +197,8 @@ class QueryPeer(NetworkNode):
             statements=list(self.statements),
             named_resources=list(self.catalog.named_resources.values()),
         )
+        if server_address not in self.registration_targets:
+            self.registration_targets.append(server_address)
         self.send(server_address, "register", payload, size_bytes=512)
 
     def learn_about(self, entry: ServerEntry) -> None:
@@ -193,6 +206,49 @@ class QueryPeer(NetworkNode):
         self.catalog.register_server(entry)
         if entry.role in (ServerRole.INDEX, ServerRole.META_INDEX):
             self.cache.remember(entry.area, entry.address, entry.role.value)
+
+    # ------------------------------------------------------------------ #
+    # Churn: leaving, crashing, and rejoining
+    # ------------------------------------------------------------------ #
+
+    def leave(self) -> None:
+        """Depart gracefully: drain pending work, unregister, go offline.
+
+        Plans buffered for the batch window are flushed first — a graceful
+        leaver finishes the work it already accepted (only a *crash* loses
+        buffered plans).  The unregister messages are queued before the
+        peer goes offline, so indexers drop this peer's entries promptly
+        instead of discovering the departure through failed forwards.
+        """
+        if self.network is not None:
+            self._flush_mqp_batch()
+            for target in self.registration_targets:
+                self.send(target, "unregister", self.address, size_bytes=64)
+        self.go_offline()
+
+    def go_offline(self) -> None:
+        """Crash: in-RAM state dies with the process.
+
+        Plans accepted into the batch buffer but not yet processed are
+        lost here (and counted, so recall degradation under crash churn
+        stays attributable).  Graceful departures call :meth:`leave`,
+        which drains the buffer first.
+        """
+        self.plans_lost_in_crash += len(self._mqp_buffer)
+        self._mqp_buffer.clear()
+        super().go_offline()
+
+    def go_online(self) -> None:
+        """Rejoin after an outage and re-propagate the registration (§3.3).
+
+        The peer's collections and statements survived the outage, but the
+        indexers may have pruned its entries after failed forwards — so
+        every registration is pushed again over the network.
+        """
+        super().go_online()
+        if self.network is not None:
+            for target in list(self.registration_targets):
+                self.register_with(target)
 
     # ------------------------------------------------------------------ #
     # Client behaviour: issuing queries and receiving results
@@ -229,6 +285,9 @@ class QueryPeer(NetworkNode):
     # ------------------------------------------------------------------ #
 
     def handle_message(self, message: Message) -> None:
+        if message.kind != "peer-unreachable":
+            # Any delivered message proves its sender is alive again.
+            self.suspected_dead.discard(message.sender)
         if message.kind == "mqp":
             self._handle_mqp(message)
         elif message.kind in ("result", "partial-result"):
@@ -237,20 +296,59 @@ class QueryPeer(NetworkNode):
             self._handle_register(message)
         elif message.kind == "register-ack":
             self._handle_register_ack(message)
+        elif message.kind == "unregister":
+            self._handle_unregister(message)
+        elif message.kind == "peer-unreachable":
+            self._handle_unreachable(message)
         else:
             raise PeerError(f"{self.address}: unknown message kind {message.kind!r}")
 
     # -- MQP handling --------------------------------------------------------- #
 
-    def _handle_mqp(self, message: Message) -> None:
-        mqp = MutantQueryPlan.deserialize(message.payload)
-        self._process_and_act(mqp)
+    def enable_batching(self, window_ms: float = 0.0) -> None:
+        """Buffer incoming plans and process them through the batched pipeline.
 
-    def _process_and_act(self, mqp: MutantQueryPlan) -> None:
-        self.plans_processed += 1
+        Plans arriving within ``window_ms`` of the first buffered plan (0
+        means the same simulated instant) are parsed, bound, optimized and
+        evaluated together, sharing catalog lookups and evaluation results
+        across the batch (the scale-out fast path).
+        """
+        self.batch_window_ms = window_ms
+
+    def _handle_mqp(self, message: Message) -> None:
+        if self.batch_window_ms is None:
+            mqp = MutantQueryPlan.deserialize(message.payload)
+            self._process_and_act(mqp)
+            return
+        self._mqp_buffer.append(message.payload)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.schedule(self.batch_window_ms, self._flush_mqp_batch)
+
+    def _flush_mqp_batch(self) -> None:
+        self._flush_scheduled = False
+        documents, self._mqp_buffer = self._mqp_buffer, []
+        if not documents:
+            return
+        mqps = [MutantQueryPlan.deserialize(document) for document in documents]
+        self.batches_processed += 1
+        self.plans_processed += len(mqps)
+        for mqp in mqps:
+            trace = self.network.metrics.trace(mqp.query_id)  # type: ignore[union-attr]
+            trace.visited.append(self.address)
+        results = self.processor.process_batch(mqps, now=self.now, avoid=self.suspected_dead)
+        for result in results:
+            self.processor.learn_from(result.mqp)
+            self._act_on(result)
+
+    def _process_and_act(self, mqp: MutantQueryPlan, rerouted: bool = False) -> None:
+        if rerouted:
+            self.plans_rerouted += 1
+        else:
+            self.plans_processed += 1
         trace = self.network.metrics.trace(mqp.query_id)  # type: ignore[union-attr]
         trace.visited.append(self.address)
-        result = self.processor.process(mqp, now=self.now)
+        result = self.processor.process(mqp, now=self.now, avoid=self.suspected_dead)
         self.processor.learn_from(mqp)
         self._act_on(result)
 
@@ -350,6 +448,34 @@ class QueryPeer(NetworkNode):
     def _handle_register_ack(self, message: Message) -> None:
         entry: ServerEntry = message.payload
         self.learn_about(entry)
+
+    def _handle_unregister(self, message: Message) -> None:
+        """A peer announced a graceful departure: drop its routing state."""
+        departing: str = message.payload
+        self.catalog.prune_server(departing)
+        self.cache.forget_server(departing)
+
+    # -- failure detection (churn) ------------------------------------------------ #
+
+    def _handle_unreachable(self, message: Message) -> None:
+        """A message this peer sent could not be delivered.
+
+        The network's failure detection hands back the original message.
+        The dead peer is purged from the routing cache and catalog, and an
+        undeliverable *plan* is reprocessed here so it reroutes around the
+        failure (or degrades to a partial answer) — plans are never silently
+        dropped.  Undeliverable results are dead-lettered for inspection.
+        """
+        dead = message.sender
+        original: Message = message.payload
+        self.suspected_dead.add(dead)
+        self.cache.forget_server(dead)
+        self.catalog.prune_server(dead)
+        if original.kind == "mqp":
+            mqp = MutantQueryPlan.deserialize(original.payload)
+            self._process_and_act(mqp, rerouted=True)
+        elif original.kind in ("result", "partial-result", "register"):
+            self.dead_letters.append(original)
 
     # ------------------------------------------------------------------ #
 

@@ -106,6 +106,10 @@ def register_offline(peers: Sequence[QueryPeer]) -> int:
         for named in payload.named_resources:
             indexer.catalog.register_named_resource(named)
         registering.learn_about(indexer.server_entry())
+        # Remember where we registered so a rejoin after churn can
+        # re-propagate the registration over the network.
+        if indexer_address not in registering.registration_targets:
+            registering.registration_targets.append(indexer_address)
         count += 1
     return count
 
