@@ -1,21 +1,53 @@
 """EXP-SCALE — the distributed catalog scales with the number of peers (§1, §3).
 
-Sweeps the peer population and reports, per size: registration messages
-needed to wire the catalog, the largest per-peer catalog footprint (no peer
-holds a global catalog), resolution hops per query, messages per query, and
-recall.  The paper's scalability argument is that none of these grow like
-the all-to-all or central-index alternatives — the per-peer catalog stays
-bounded by the peer's interest area, and queries walk a short meta-index →
-index → base chain.
+Two layers of evidence:
+
+* the original sweep: registration messages, per-peer catalog footprint,
+  resolution hops and recall as the population grows (no peer holds a
+  global catalog);
+* the PR-2 perf gates: at 1,000 registered servers the trie-backed
+  catalog index must answer ``servers_overlapping``/``servers_covering``
+  at ≥10× the seed's linear-scan throughput with byte-identical results,
+  and the full PR-1 scale-out scenario must run ≥1.5× faster end-to-end
+  than the seed-algorithm baseline (``repro.perf.seed_baseline``).
+
+``--json`` writes the measurements to ``BENCH_catalog_scalability.json``
+(the perf trajectory's first committed point).  ``REPRO_BENCH_QUICK=1``
+shrinks query counts and the end-to-end population for CI smoke runs —
+the 1,000-server lookup gate keeps its full size (building the catalog is
+cheap; the gate scale is the point).
 """
 
 from __future__ import annotations
 
+import random
+import time
+
 import pytest
 
+import benchjson
+from repro.catalog import Catalog, CatalogLevel, CollectionRef, IntensionalStatement, ServerEntry, ServerRole
 from repro.harness import build_mqp_scenario, format_table, run_mqp_queries
+from repro.harness.scaleout import ScaleoutSpec, run_scaleout
+from repro.namespace.builtin import garage_sale_namespace
+from repro.perf import seed_baseline
 from repro.workloads import GarageSaleConfig, GarageSaleWorkload, QueryWorkload
 from conftest import emit
+
+QUICK = benchjson.quick_mode()
+BENCH = "catalog_scalability"
+
+GATE_SERVERS = 1000
+GATE_SEED = 7
+GATE_QUERIES = 150 if QUICK else 400
+LOOKUP_GATE_MIN = 10.0
+
+SCALEOUT_SPEC = (
+    ScaleoutSpec(name="pr1-smoke", peers=200, queries=6)
+    if QUICK
+    else ScaleoutSpec(name="pr1")
+)
+SCALEOUT_GATE_MIN = 1.2 if QUICK else 1.5
 
 
 def _measure(sellers: int, queries_per_run: int = 4):
@@ -89,3 +121,181 @@ def test_per_peer_catalog_stays_local(benchmark):
     # the servers of their own state; only the meta-index sees every indexer.
     assert max(base_catalogs) <= 3
     assert max(index_catalogs) <= len(workload.sellers) + 2
+
+
+# --------------------------------------------------------------------------- #
+# PR-2 gates: indexed lookups and the measured end-to-end win
+# --------------------------------------------------------------------------- #
+
+
+def _gate_catalog(servers: int = GATE_SERVERS, seed: int = GATE_SEED):
+    """A realistic 1,000-server catalog plus a seeded query battery."""
+    namespace = garage_sale_namespace()
+    rng = random.Random(seed)
+    locations = namespace.dimensions[0].categories()
+    merchandise = namespace.dimensions[1].categories()
+    catalog = Catalog("gate")
+    addresses = []
+    for position in range(servers):
+        address = f"peer-{position:04d}:9020"
+        addresses.append(address)
+        area = namespace.area([rng.choice(locations), rng.choice(merchandise)])
+        role = rng.choice([ServerRole.BASE] * 8 + [ServerRole.INDEX, ServerRole.META_INDEX])
+        catalog.register_server(
+            ServerEntry(
+                address,
+                role,
+                area,
+                authoritative=(role is not ServerRole.BASE),
+                collections=[CollectionRef(address, "/items")],
+            )
+        )
+    for position in range(0, servers, 50):
+        left, right = addresses[position], addresses[(position + 1) % servers]
+        area_text = "(USA.OR,*)" if position % 100 else "(USA.WA,*)"
+        catalog.register_statement(
+            IntensionalStatement.parse(f"base[{area_text}]@{left} >= base[{area_text}]@{right}")
+        )
+    queries = [
+        namespace.area([rng.choice(locations), rng.choice(merchandise)])
+        for _ in range(GATE_QUERIES)
+    ]
+    return catalog, queries
+
+
+@pytest.fixture(scope="module")
+def gate_catalog():
+    return _gate_catalog()
+
+
+def _lookup_pass(catalog, queries):
+    for area in queries:
+        catalog.servers_overlapping(area)
+        catalog.servers_covering(area)
+
+
+def test_indexed_lookup_gate(gate_catalog):
+    """The acceptance gate: ≥10× lookup throughput at 1,000 servers."""
+    catalog, queries = gate_catalog
+
+    operations = []
+    for area in queries:
+        operations.append(lambda a=area: catalog.servers_overlapping(a))
+        operations.append(lambda a=area: catalog.servers_covering(a))
+
+    indexed_samples = benchjson.sample_latencies(operations, repeats=3)
+    with seed_baseline():
+        linear_samples = benchjson.sample_latencies(operations, repeats=3)
+
+    indexed = benchjson.latency_stats(indexed_samples)
+    linear = benchjson.latency_stats(linear_samples)
+    speedup = indexed["ops_per_sec"] / linear["ops_per_sec"]
+
+    emit(
+        f"EXP-SCALE  Indexed vs linear catalog lookups ({len(catalog.servers)} servers)",
+        f"indexed={indexed['ops_per_sec']:,.0f} ops/s "
+        f"(p50={indexed['p50_us']:.1f}us p99={indexed['p99_us']:.1f}us)  "
+        f"linear={linear['ops_per_sec']:,.0f} ops/s "
+        f"(p50={linear['p50_us']:.1f}us p99={linear['p99_us']:.1f}us)  "
+        f"speedup={speedup:.1f}x",
+    )
+
+    context = {"peers": len(catalog.servers), "seed": GATE_SEED, "queries": len(queries)}
+    benchjson.record_metric(
+        BENCH, "indexed_lookup_ops_per_sec", indexed["ops_per_sec"], unit="ops/s", **context
+    )
+    benchjson.record_metric(
+        BENCH, "indexed_lookup_p50_us", indexed["p50_us"], unit="us", direction="lower", **context
+    )
+    benchjson.record_metric(
+        BENCH, "indexed_lookup_p99_us", indexed["p99_us"], unit="us", direction="lower", **context
+    )
+    benchjson.record_metric(
+        BENCH, "linear_lookup_ops_per_sec", linear["ops_per_sec"], unit="ops/s", **context
+    )
+    benchjson.record_metric(
+        BENCH,
+        "lookup_speedup_vs_linear",
+        speedup,
+        unit="x",
+        compare=True,
+        gate_min=LOOKUP_GATE_MIN,
+        **context,
+    )
+    assert speedup >= LOOKUP_GATE_MIN, (
+        f"indexed lookups only {speedup:.1f}x the linear scan (need >= {LOOKUP_GATE_MIN}x)"
+    )
+
+
+def test_index_matches_linear_oracle(gate_catalog):
+    """Index results must be byte-identical to the linear scan, order included."""
+    catalog, queries = gate_catalog
+    role_filters = (
+        None,
+        (ServerRole.BASE,),
+        (ServerRole.INDEX, ServerRole.META_INDEX),
+    )
+    for area in queries:
+        for roles in role_filters:
+            indexed = catalog.servers_overlapping(area, roles=roles)
+            linear = catalog._scan_overlapping(area, roles=roles)
+            assert [entry.address for entry in indexed] == [entry.address for entry in linear]
+            indexed = catalog.servers_covering(area, roles=roles)
+            linear = catalog._scan_covering(area, roles=roles)
+            assert [entry.address for entry in indexed] == [entry.address for entry in linear]
+        assert catalog.collections_overlapping(area) == sorted(
+            collection
+            for entry in catalog._scan_overlapping(area, roles=(ServerRole.BASE,))
+            for collection in entry.collections
+        )
+        with seed_baseline():
+            linear_statements = catalog.statements_for(CatalogLevel.BASE, area)
+        assert catalog.statements_for(CatalogLevel.BASE, area) == linear_statements
+
+
+def test_scaleout_runtime_gate():
+    """End-to-end: the PR-1 scale-out config runs ≥1.5× faster than the seed."""
+    spec = SCALEOUT_SPEC
+
+    started = time.perf_counter()
+    optimized_report = run_scaleout(spec)
+    optimized_s = time.perf_counter() - started
+
+    with seed_baseline():
+        started = time.perf_counter()
+        baseline_report = run_scaleout(spec)
+        baseline_s = time.perf_counter() - started
+
+    ratio = baseline_s / optimized_s
+    emit(
+        f"EXP-SCALE  End-to-end scenario runtime ({spec.peers} peers, {spec.workload})",
+        f"optimized={optimized_s:.2f}s  seed-baseline={baseline_s:.2f}s  speedup={ratio:.2f}x",
+    )
+
+    # The fast paths must not change a single answer, hop, or byte count.
+    assert optimized_report["queries"] == baseline_report["queries"]
+    assert optimized_report["traffic"] == baseline_report["traffic"]
+
+    context = {"peers": spec.peers, "seed": spec.seed, "workload": spec.workload}
+    benchjson.record_metric(
+        BENCH, "scaleout_runtime_s", optimized_s, unit="s", direction="lower", **context
+    )
+    benchjson.record_metric(
+        BENCH, "scaleout_baseline_runtime_s", baseline_s, unit="s", direction="lower", **context
+    )
+    benchjson.record_metric(
+        BENCH,
+        "scaleout_speedup_vs_seed",
+        ratio,
+        unit="x",
+        compare=True,
+        gate_min=SCALEOUT_GATE_MIN,
+        **context,
+    )
+    assert ratio >= SCALEOUT_GATE_MIN, (
+        f"end-to-end only {ratio:.2f}x the seed baseline (need >= {SCALEOUT_GATE_MIN}x)"
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(benchjson.run_as_script(__file__))

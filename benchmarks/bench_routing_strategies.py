@@ -80,3 +80,9 @@ def test_gnutella_horizon_sweep(benchmark, garage_sale_small, queries):
     emit("EXP-ROUTING  Gnutella horizon sweep", format_table(rows))
     assert rows[0]["messages"] < rows[-1]["messages"]
     assert rows[0]["mean_recall"] <= rows[-1]["mean_recall"] + 1e-9
+
+
+if __name__ == "__main__":
+    import benchjson
+
+    raise SystemExit(benchjson.run_as_script(__file__))

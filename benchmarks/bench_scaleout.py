@@ -18,18 +18,19 @@ smoke runs.
 
 from __future__ import annotations
 
-import os
 import time
 
 import pytest
 
+import benchjson
 from repro.algebra import PlanBuilder
 from repro.catalog import CollectionRef, NamedResourceEntry
 from repro.harness.scaleout import ScaleoutSpec, build_scaleout_scenario
 from repro.mqp import MutantQueryPlan
 from conftest import emit
 
-QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+QUICK = benchjson.quick_mode()
+BENCH = "scaleout"
 PEERS = 200 if QUICK else 1000
 BATCH_SIZE = 16 if QUICK else 64
 REPEATS = 2 if QUICK else 5
@@ -119,6 +120,22 @@ def test_throughput_ratio(hot_server):
         f"unbatched={BATCH_SIZE / unbatched:,.0f} plans/s "
         f"batched={BATCH_SIZE / batched:,.0f} plans/s ratio={ratio:.2f}x",
     )
+    context = {"peers": PEERS, "batch_size": BATCH_SIZE, "items": item_count}
+    benchjson.record_metric(
+        BENCH, "unbatched_plans_per_sec", BATCH_SIZE / unbatched, unit="plans/s", **context
+    )
+    benchjson.record_metric(
+        BENCH, "batched_plans_per_sec", BATCH_SIZE / batched, unit="plans/s", **context
+    )
+    benchjson.record_metric(
+        BENCH,
+        "batched_speedup_vs_unbatched",
+        ratio,
+        unit="x",
+        compare=True,
+        gate_min=2.0,
+        **context,
+    )
     assert ratio >= 2.0, f"batched path only {ratio:.2f}x faster (need >= 2x)"
 
 
@@ -151,3 +168,7 @@ def test_batched_pipeline(benchmark, hot_server):
     documents = _plan_documents(processor, BATCH_SIZE)
     results = benchmark(_run_batched, processor, documents)
     assert len(results) == BATCH_SIZE
+
+
+if __name__ == "__main__":
+    raise SystemExit(benchjson.run_as_script(__file__))

@@ -1,0 +1,220 @@
+"""Machine-readable benchmark output: the ``BENCH_<name>.json`` trajectory.
+
+Every benchmark module gains a ``--json`` mode: under
+``pytest <bench> --json`` (or ``python <bench>.py --json``) the metrics a
+benchmark records — and every ``emit()``'d table — are written to
+``BENCH_<name>.json`` in the repository root, one file per benchmark.
+Committed BENCH files form the perf trajectory: each PR re-runs the gated
+benchmarks and the regression checker (``check_regression.py``) compares
+the fresh numbers against the committed baselines.
+
+Schema (``"schema": 1``)::
+
+    {
+      "bench": "catalog_scalability",       # module name sans "bench_"
+      "schema": 1,
+      "quick": false,                       # REPRO_BENCH_QUICK was set
+      "metrics": {
+        "<metric>": {
+          "value": 22.7,
+          "unit": "x",                      # ops/s, x, us, ms, count, ...
+          "direction": "higher",            # which way is better
+          "compare": true,                  # regression-checked vs baseline
+          "gate_min": 10.0,                 # hard floor enforced in CI
+          ... free-form context: peers, seed, batch_size ...
+        }
+      },
+      "notes": [{"title": ..., "body": ...}]   # the emitted text tables
+    }
+
+Only metrics marked ``"compare": true`` participate in the >20% regression
+check, and only against a baseline with the same ``quick`` setting and the
+same recorded context — ratios and counts are hardware-portable, raw
+wall-clock numbers are context.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Sequence
+
+SCHEMA_VERSION = 1
+ENV_ENABLE = "REPRO_BENCH_JSON"
+ENV_DIR = "REPRO_BENCH_JSON_DIR"
+ENV_QUICK = "REPRO_BENCH_QUICK"
+
+_REPORTS: dict[str, dict] = {}
+
+
+def enabled() -> bool:
+    """True when benchmarks should record JSON output."""
+    return bool(os.environ.get(ENV_ENABLE))
+
+
+def quick_mode() -> bool:
+    """True when the shrunken CI-smoke workload sizes are in effect."""
+    return bool(os.environ.get(ENV_QUICK))
+
+
+def output_dir() -> Path:
+    """Where BENCH files are written (default: the repository root)."""
+    configured = os.environ.get(ENV_DIR)
+    if configured:
+        return Path(configured)
+    return Path(__file__).resolve().parent.parent
+
+
+def bench_name(module_name: str) -> str:
+    """``benchmarks.bench_scaleout`` / ``bench_scaleout`` → ``scaleout``."""
+    stem = module_name.rsplit(".", 1)[-1]
+    return stem.removeprefix("bench_")
+
+
+def _report(bench: str) -> dict:
+    return _REPORTS.setdefault(
+        bench,
+        {
+            "bench": bench,
+            "schema": SCHEMA_VERSION,
+            "quick": quick_mode(),
+            "metrics": {},
+            "notes": [],
+        },
+    )
+
+
+def record_metric(
+    bench: str,
+    name: str,
+    value: float,
+    unit: str = "",
+    direction: str = "higher",
+    compare: bool = False,
+    gate_min: float | None = None,
+    **context: object,
+) -> None:
+    """Record one metric for ``bench`` (no-op unless ``--json`` is active)."""
+    if not enabled():
+        return
+    metric: dict[str, object] = {
+        "value": round(float(value), 6),
+        "unit": unit,
+        "direction": direction,
+        "compare": compare,
+    }
+    if gate_min is not None:
+        metric["gate_min"] = gate_min
+    metric.update(context)
+    _report(bench)["metrics"][name] = metric
+
+
+def record_note(bench: str, title: str, body: str) -> None:
+    """Attach an emitted text table to the bench report."""
+    if not enabled():
+        return
+    _report(bench)["notes"].append({"title": title, "body": body})
+
+
+def write_reports() -> list[Path]:
+    """Write every recorded report to ``BENCH_<name>.json``; returns paths."""
+    written: list[Path] = []
+    directory = output_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    for bench, report in sorted(_REPORTS.items()):
+        path = directory / f"BENCH_{bench}.json"
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+def reset() -> None:
+    """Drop recorded state (used by the tooling tests)."""
+    _REPORTS.clear()
+
+
+# --------------------------------------------------------------------------- #
+# Measurement helpers
+# --------------------------------------------------------------------------- #
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``fraction`` in [0, 1])."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def latency_stats(samples_s: Sequence[float]) -> dict[str, float]:
+    """p50/p99 (microseconds) plus ops/sec over per-call latency samples."""
+    total = sum(samples_s)
+    return {
+        "p50_us": percentile(samples_s, 0.50) * 1e6,
+        "p99_us": percentile(samples_s, 0.99) * 1e6,
+        "ops_per_sec": len(samples_s) / total if total else float("inf"),
+    }
+
+
+def sample_latencies(operations: Sequence[Callable[[], object]], repeats: int = 3) -> list[float]:
+    """Best-of-``repeats`` wall-clock latency for each operation, in seconds."""
+    best = [float("inf")] * len(operations)
+    for _ in range(repeats):
+        for position, operation in enumerate(operations):
+            started = time.perf_counter()
+            operation()
+            elapsed = time.perf_counter() - started
+            if elapsed < best[position]:
+                best[position] = elapsed
+    return best
+
+
+# --------------------------------------------------------------------------- #
+# Script mode
+# --------------------------------------------------------------------------- #
+
+
+def run_as_script(bench_file: str, argv: Sequence[str] | None = None) -> int:
+    """Run one benchmark file directly: ``python bench_x.py [--json] [--quick]``.
+
+    A thin wrapper over ``pytest.main`` so every benchmark doubles as a
+    command-line tool; ``--json`` writes the BENCH file exactly as the
+    pytest option does.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog=Path(bench_file).name,
+        description="Run this benchmark (a pytest module) as a script.",
+    )
+    parser.add_argument("--json", action="store_true", help="write BENCH_<name>.json")
+    parser.add_argument("--json-dir", default=None, help="directory for BENCH files")
+    parser.add_argument("--quick", action="store_true", help="CI-smoke workload sizes")
+    parser.add_argument("--timed", action="store_true",
+                        help="keep pytest-benchmark timing enabled (slower)")
+    args = parser.parse_args(argv)
+
+    if args.json:
+        os.environ[ENV_ENABLE] = "1"
+    if args.json_dir:
+        os.environ[ENV_DIR] = args.json_dir
+    if args.quick:
+        os.environ[ENV_QUICK] = "1"
+
+    # Make the in-repo sources importable when the package is not installed.
+    repo_root = Path(bench_file).resolve().parent.parent
+    source_dir = repo_root / "src"
+    if source_dir.is_dir() and str(source_dir) not in sys.path:
+        sys.path.insert(0, str(source_dir))
+
+    import pytest
+
+    pytest_args = [str(bench_file), "-q", "-s"]
+    if not args.timed:
+        pytest_args.append("--benchmark-disable")
+    return pytest.main(pytest_args)

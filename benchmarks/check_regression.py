@@ -1,0 +1,134 @@
+"""Gate the perf trajectory: compare fresh BENCH_*.json files to baselines.
+
+Usage::
+
+    python benchmarks/check_regression.py --current bench-reports [--baseline .]
+        [--tolerance 0.2]
+
+Two kinds of checks, both driven by the metric schema of :mod:`benchjson`:
+
+* **hard gates** — any metric carrying ``gate_min`` must meet it, wherever
+  it was measured (these are ratios by construction, so they travel
+  across hardware);
+* **regressions** — metrics marked ``"compare": true`` are measured
+  against the committed baseline and fail when they move more than
+  ``tolerance`` (default 20%) in the bad direction (``direction``).
+  Comparison is skipped — loudly — when the baseline was recorded at a
+  different workload size (``quick`` mismatch) or doesn't exist yet.
+
+Exit status is non-zero when any gate or regression check fails, so CI can
+block the merge.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+_VALUE_KEYS = {"value", "unit", "direction", "compare", "gate_min"}
+"""Schema keys of a metric; everything else is workload context."""
+
+
+def _context(metric: dict) -> dict:
+    return {key: value for key, value in metric.items() if key not in _VALUE_KEYS}
+
+
+def _load_reports(directory: Path) -> dict[str, dict]:
+    reports = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            report = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            print(f"ERROR  {path}: not valid JSON ({error})")
+            continue
+        reports[report.get("bench", path.stem.removeprefix("BENCH_"))] = report
+    return reports
+
+
+def check(current_dir: Path, baseline_dir: Path, tolerance: float) -> int:
+    current = _load_reports(current_dir)
+    baseline = _load_reports(baseline_dir)
+    if not current:
+        print(f"ERROR  no BENCH_*.json files found under {current_dir}")
+        return 1
+
+    failures = 0
+    for bench, report in sorted(current.items()):
+        metrics = report.get("metrics", {})
+        base_report = baseline.get(bench)
+        for name, metric in sorted(metrics.items()):
+            value = metric.get("value")
+            direction = metric.get("direction", "higher")
+            label = f"{bench}.{name}"
+
+            gate_min = metric.get("gate_min")
+            if gate_min is not None:
+                if value < gate_min:
+                    print(f"FAIL   {label}: {value:g} below hard gate {gate_min:g}")
+                    failures += 1
+                else:
+                    print(f"ok     {label}: {value:g} (gate >= {gate_min:g})")
+
+            if not metric.get("compare"):
+                continue
+            if base_report is None:
+                print(f"skip   {label}: no committed baseline for bench {bench!r}")
+                continue
+            if base_report.get("quick") != report.get("quick"):
+                print(
+                    f"skip   {label}: baseline recorded at a different workload size "
+                    f"(quick={base_report.get('quick')} vs {report.get('quick')})"
+                )
+                continue
+            base_metric = base_report.get("metrics", {}).get(name)
+            if base_metric is None:
+                print(f"skip   {label}: metric absent from baseline")
+                continue
+            if _context(base_metric) != _context(metric):
+                # A changed workload (peer count, batch size, seed, ...)
+                # makes the numbers incomparable; re-baseline instead.
+                print(
+                    f"skip   {label}: workload context changed "
+                    f"({_context(base_metric)} vs {_context(metric)})"
+                )
+                continue
+            base_value = base_metric.get("value")
+            if direction == "lower":
+                limit = base_value * (1.0 + tolerance)
+                regressed = value > limit
+            else:
+                limit = base_value * (1.0 - tolerance)
+                regressed = value < limit
+            if regressed:
+                print(
+                    f"FAIL   {label}: {value:g} regressed past {tolerance:.0%} of "
+                    f"baseline {base_value:g} (limit {limit:g}, direction={direction})"
+                )
+                failures += 1
+            else:
+                print(f"ok     {label}: {value:g} vs baseline {base_value:g}")
+
+    if failures:
+        print(f"\n{failures} perf check(s) failed")
+    else:
+        print("\nall perf checks passed")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", required=True, type=Path,
+                        help="directory holding the freshly generated BENCH_*.json files")
+    parser.add_argument("--baseline", default=Path("."), type=Path,
+                        help="directory holding the committed baselines (default: repo root)")
+    parser.add_argument("--tolerance", default=0.2, type=float,
+                        help="allowed fractional regression before failing (default: 0.2)")
+    args = parser.parse_args(argv)
+    return check(args.current, args.baseline, args.tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,9 +12,11 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 from ..errors import PlanError
+from ..perf import flags
 from ..xmlmodel import XMLElement, evaluate_path_values
 
 __all__ = [
@@ -294,9 +296,22 @@ class _PredicateParser:
         raise PlanError(f"unexpected token {value!r} in predicate {self.source!r}")
 
 
+@lru_cache(maxsize=4096)
+def _parse_predicate_cached(stripped: str) -> Expression:
+    return _PredicateParser(_tokenize(stripped), stripped).parse()
+
+
 def parse_predicate(text: str) -> Expression:
-    """Parse the compact textual form back into an :class:`Expression`."""
+    """Parse the compact textual form back into an :class:`Expression`.
+
+    Expression nodes are immutable (frozen dataclasses), so identical
+    predicate texts — which recur at every hop of every plan carrying the
+    same ``<select>`` — share one memoized AST instead of re-running the
+    tokenizer.  The seed-baseline flag restores per-call parsing.
+    """
     stripped = text.strip()
     if not stripped:
         raise PlanError("empty predicate")
+    if flags.cached_predicates:
+        return _parse_predicate_cached(stripped)
     return _PredicateParser(_tokenize(stripped), stripped).parse()

@@ -15,6 +15,7 @@ strings, which is what the network layer ships around.
 from __future__ import annotations
 
 from ..errors import PlanSerializationError
+from ..perf import flags
 from ..xmlmodel import XMLElement, parse_xml, serialize_xml
 from .expressions import parse_predicate
 from .operators import (
@@ -62,7 +63,15 @@ def _node_to_xml(node: PlanNode) -> XMLElement:
     if isinstance(node, VerbatimData):
         if node.name:
             attributes["name"] = node.name
-        extra_children.append(XMLElement("collection", {}, [node.collection.copy()]))
+        # The serialized tree aliases the plan's constant data rather than
+        # deep-copying it: every caller renders the returned tree to text
+        # immediately, and partial results carried in a thousand-peer run
+        # make this copy the single largest per-hop cost.  Treat the
+        # returned tree as read-only.
+        collection = (
+            node.collection if flags.shared_wire_trees else node.collection.copy()
+        )
+        extra_children.append(XMLElement("collection", {}, [collection]))
     elif isinstance(node, URLRef):
         attributes["href"] = node.url
         if node.path:
@@ -164,7 +173,13 @@ def _node_from_xml(element: XMLElement) -> PlanNode:
         collection_wrapper = element.find("collection")
         if collection_wrapper is None or not collection_wrapper.children:
             raise PlanSerializationError("<data> node has no embedded collection")
-        node = VerbatimData(collection_wrapper.children[0].copy(), element.get("name"))
+        # The plan adopts the parsed subtree instead of deep-copying it;
+        # parsing produces a fresh tree per document, so the only aliasing
+        # is with the input element — callers must not mutate it afterwards.
+        embedded = collection_wrapper.children[0]
+        if not flags.shared_wire_trees:
+            embedded = embedded.copy()
+        node = VerbatimData(embedded, element.get("name"))
     elif tag == "url":
         node = URLRef(_require(element, "href"), element.get("path"))
     elif tag == "urn":

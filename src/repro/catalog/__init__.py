@@ -3,11 +3,22 @@
 from .binding import Binder, Binding, BindingAlternative, BoundSource
 from .cache import CacheEntry, RoutingCache
 from .catalog import Catalog
-from .entries import CollectionRef, NamedResourceEntry, ServerEntry, ServerRole
+from .entries import (
+    CollectionRef,
+    NamedResourceEntry,
+    ServerEntry,
+    ServerRole,
+    canonical_address,
+)
+from .index import CatalogIndex, CategoryTrie, StatementIndex
 from .intensional import CatalogLevel, IntensionalStatement, Relation, ServerHolding
 
 __all__ = [
     "Catalog",
+    "CatalogIndex",
+    "CategoryTrie",
+    "StatementIndex",
+    "canonical_address",
     "ServerRole",
     "ServerEntry",
     "CollectionRef",

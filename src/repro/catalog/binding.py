@@ -196,11 +196,10 @@ class Binder:
                 self._base_level_alternatives(statement, default, default_servers)
             )
 
-        for statement in self.catalog.statements:
-            if statement.lhs.level != CatalogLevel.INDEX:
-                continue
-            if not statement.lhs.area.covers(area):
-                continue
+        # The level+area statement index answers exactly the "INDEX-level
+        # statement whose lhs area covers the query" question, so the seed's
+        # full-list scan is replaced by an indexed lookup (same order).
+        for statement in self.catalog.statements_for(CatalogLevel.INDEX, area):
             if any(holding.level != CatalogLevel.BASE for holding in statement.rhs):
                 continue
             alternatives.extend(self._index_level_alternatives(statement, area))

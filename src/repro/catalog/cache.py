@@ -26,6 +26,19 @@ class CacheEntry:
     server: str
     role: str = "index"
 
+    def specificity(self) -> int:
+        """The area's specificity, computed once per entry.
+
+        Every cache hit re-sorts the matches by specificity; areas are
+        treated as immutable once cached, so the walk over their cells
+        happens only on first use.
+        """
+        cached = self.__dict__.get("_specificity")
+        if cached is None:
+            cached = self.area.specificity()
+            object.__setattr__(self, "_specificity", cached)
+        return cached
+
 
 class RoutingCache:
     """LRU cache of (interest area → server) routing hints."""
@@ -80,7 +93,7 @@ class RoutingCache:
                 self._entries.move_to_end(self._key(entry.area, entry.server))
         else:
             self.misses += 1
-        matches.sort(key=lambda entry: (-entry.area.specificity(), entry.server))
+        matches.sort(key=lambda entry: (-entry.specificity(), entry.server))
         return matches
 
     def best(self, area: InterestArea, require_cover: bool = True) -> CacheEntry | None:

@@ -6,6 +6,11 @@ their interest areas and roles, and retaining any intensional statements
 those servers announced at registration time.  The catalog never claims
 global knowledge — "mutant query plans ... allow query optimization and
 source discovery to work with whatever information is available locally".
+
+Lookups are served by the trie-backed :class:`~repro.catalog.index.CatalogIndex`
+in O(depth + matches); the seed's linear scans survive as private
+``_scan_*`` oracles, selected when :data:`repro.perf.flags` disables the
+index, and are what the equivalence tests diff the index against.
 """
 
 from __future__ import annotations
@@ -14,7 +19,15 @@ from dataclasses import dataclass, field
 
 from ..errors import CatalogError
 from ..namespace import InterestArea
-from .entries import CollectionRef, NamedResourceEntry, ServerEntry, ServerRole
+from ..perf import flags
+from .entries import (
+    CollectionRef,
+    NamedResourceEntry,
+    ServerEntry,
+    ServerRole,
+    canonical_address,
+)
+from .index import CatalogIndex, StatementIndex
 from .intensional import CatalogLevel, IntensionalStatement
 
 __all__ = ["Catalog"]
@@ -29,6 +42,16 @@ class Catalog:
     named_resources: dict[str, NamedResourceEntry] = field(default_factory=dict)
     statements: list[IntensionalStatement] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        self._index = CatalogIndex()
+        self._statement_index = StatementIndex()
+        self._statement_keys: set[IntensionalStatement] = set()
+        for entry in self.servers.values():
+            self._index.add(entry)
+        for sequence, statement in enumerate(self.statements):
+            self._statement_keys.add(statement)
+            self._statement_index.add(sequence, statement)
+
     # -- registration -------------------------------------------------------- #
 
     def register_server(self, entry: ServerEntry) -> None:
@@ -42,6 +65,7 @@ class Catalog:
         existing = self.servers.get(entry.address)
         if existing is None or entry.covers(existing.area):
             self.servers[entry.address] = entry
+            self._index.add(entry)
             return
         merged = ServerEntry(
             address=entry.address,
@@ -52,6 +76,7 @@ class Catalog:
             registered_at=entry.registered_at,
         )
         self.servers[entry.address] = merged
+        self._index.add(merged)
 
     def register_named_resource(self, entry: NamedResourceEntry) -> None:
         """Add resolution data for an application-level URN."""
@@ -62,13 +87,22 @@ class Catalog:
             existing.merge(entry)
 
     def register_statement(self, statement: IntensionalStatement) -> None:
-        """Retain an intensional statement announced by some server."""
-        if statement not in self.statements:
-            self.statements.append(statement)
+        """Retain an intensional statement announced by some server.
+
+        Deduplication is a set-membership test: registration floods replay
+        the same statements at every re-propagation, and the seed's
+        ``statement not in list`` check made each replay O(statements).
+        """
+        if statement in self._statement_keys:
+            return
+        self._statement_keys.add(statement)
+        self._statement_index.add(len(self.statements), statement)
+        self.statements.append(statement)
 
     def forget_server(self, address: str) -> None:
         """Drop a server (e.g. after repeated failures)."""
-        self.servers.pop(address, None)
+        if self.servers.pop(address, None) is not None:
+            self._index.discard(address)
 
     def prune_server(self, address: str) -> int:
         """Purge everything that routes through an unreachable server.
@@ -81,12 +115,21 @@ class Catalog:
         """
         removed = 0
         if self.servers.pop(address, None) is not None:
+            self._index.discard(address)
             removed += 1
-        urls = (address, f"http://{address}")
+        target = canonical_address(address)
         replacements: dict[str, NamedResourceEntry | None] = {}
         for name, entry in self.named_resources.items():
-            kept = [collection for collection in entry.collections if collection.url not in urls]
-            resolvers = [server for server in entry.resolver_servers if server != address]
+            kept = [
+                collection
+                for collection in entry.collections
+                if canonical_address(collection.url) != target
+            ]
+            resolvers = [
+                server
+                for server in entry.resolver_servers
+                if canonical_address(server) != target
+            ]
             dropped = (len(entry.collections) - len(kept)) + (
                 len(entry.resolver_servers) - len(resolvers)
             )
@@ -120,12 +163,9 @@ class Catalog:
         roles: tuple[ServerRole, ...] | None = None,
     ) -> list[ServerEntry]:
         """Servers whose interest area overlaps ``area`` (optionally by role)."""
-        matches = [
-            entry
-            for entry in self.servers.values()
-            if entry.overlaps(area) and (roles is None or entry.role in roles)
-        ]
-        return sorted(matches, key=lambda entry: entry.address)
+        if flags.indexed_catalog:
+            return self._index.overlapping(area, roles)
+        return self._scan_overlapping(area, roles)
 
     def servers_covering(
         self,
@@ -133,12 +173,18 @@ class Catalog:
         roles: tuple[ServerRole, ...] | None = None,
     ) -> list[ServerEntry]:
         """Servers whose interest area covers all of ``area``."""
-        matches = [
-            entry
-            for entry in self.servers.values()
-            if entry.covers(area) and (roles is None or entry.role in roles)
-        ]
-        return sorted(matches, key=lambda entry: entry.address)
+        if flags.indexed_catalog:
+            return self._index.covering(area, roles)
+        return self._scan_covering(area, roles)
+
+    def servers_with_roles(self, roles: tuple[ServerRole, ...]) -> list[ServerEntry]:
+        """Every known server holding one of ``roles``, in address order."""
+        if flags.indexed_catalog:
+            return self._index.with_roles(roles)
+        return sorted(
+            (entry for entry in self.servers.values() if entry.role in roles),
+            key=lambda entry: entry.address,
+        )
 
     def authoritative_servers(self, area: InterestArea) -> list[ServerEntry]:
         """Authoritative index / meta-index servers covering ``area``."""
@@ -159,7 +205,39 @@ class Catalog:
 
     def statements_for(self, level: CatalogLevel, area: InterestArea) -> list[IntensionalStatement]:
         """Intensional statements applicable to a query over ``area``."""
+        if flags.indexed_catalog:
+            return self._statement_index.applicable(level, area)
         return [statement for statement in self.statements if statement.applies_to(level, area)]
+
+    # -- linear-scan oracles ------------------------------------------------------ #
+    #
+    # The seed implementation, kept verbatim: the churn equivalence suite
+    # asserts the trie index returns byte-identical results, and the
+    # benchmarks measure the index against these under `seed_baseline()`.
+
+    def _scan_overlapping(
+        self,
+        area: InterestArea,
+        roles: tuple[ServerRole, ...] | None = None,
+    ) -> list[ServerEntry]:
+        matches = [
+            entry
+            for entry in self.servers.values()
+            if entry.overlaps(area) and (roles is None or entry.role in roles)
+        ]
+        return sorted(matches, key=lambda entry: entry.address)
+
+    def _scan_covering(
+        self,
+        area: InterestArea,
+        roles: tuple[ServerRole, ...] | None = None,
+    ) -> list[ServerEntry]:
+        matches = [
+            entry
+            for entry in self.servers.values()
+            if entry.covers(area) and (roles is None or entry.role in roles)
+        ]
+        return sorted(matches, key=lambda entry: entry.address)
 
     # -- introspection ------------------------------------------------------------ #
 

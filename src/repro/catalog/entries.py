@@ -17,11 +17,38 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from functools import lru_cache
 
 from ..errors import CatalogError
 from ..namespace import InterestArea
 
-__all__ = ["ServerRole", "CollectionRef", "ServerEntry", "NamedResourceEntry", "WHOLE_SERVER"]
+__all__ = [
+    "ServerRole",
+    "CollectionRef",
+    "ServerEntry",
+    "NamedResourceEntry",
+    "WHOLE_SERVER",
+    "canonical_address",
+]
+
+
+@lru_cache(maxsize=8192)
+def canonical_address(url: str) -> str:
+    """Reduce a server address or collection URL to its ``host[:port]`` form.
+
+    Collection URLs arrive in whatever shape the registering peer used —
+    bare ``host:port``, ``http://host:port``, ``https://host:port/`` — while
+    churn handling identifies peers by bare address.  Comparing canonical
+    forms keeps pruning and locality checks exact instead of guessing at a
+    hard-coded scheme list.
+    """
+    text = url.strip()
+    lowered = text.lower()
+    for scheme in ("http://", "https://"):
+        if lowered.startswith(scheme):
+            text = text[len(scheme):]
+            break
+    return text.rstrip("/")
 
 WHOLE_SERVER = "/*"
 """Sentinel collection path meaning *everything the server holds*.

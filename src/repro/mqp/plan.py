@@ -18,10 +18,11 @@ just shipping one XML document.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..algebra import QueryPlan, plan_from_xml, plan_to_xml
 from ..errors import PlanError
+from ..perf import flags
 from ..xmlmodel import XMLElement, parse_xml, serialize_xml
 from .provenance import ProvenanceLog
 
@@ -66,20 +67,55 @@ class QueryPreferences:
         )
 
 
-@dataclass
+_DEFERRED_ORIGINAL = object()
+"""Sentinel: the original plan exists only as its wire XML, parsed on demand."""
+
+
 class MutantQueryPlan:
-    """Everything a peer receives, mutates, and forwards."""
+    """Everything a peer receives, mutates, and forwards.
 
-    plan: QueryPlan
-    query_id: str = field(default_factory=lambda: f"q{next(_query_counter)}")
-    provenance: ProvenanceLog = field(default_factory=ProvenanceLog)
-    original: QueryPlan | None = None
-    preferences: QueryPreferences = field(default_factory=QueryPreferences)
-    issued_at: float = 0.0
+    The original plan is immutable once issued (§5.1 keeps it so bindings
+    can be audited or undone), yet the seed re-encoded it into XML at every
+    forward and re-built plan nodes — predicates included — at every
+    receive.  The wire form of the original is therefore carried alongside
+    (``_original_xml``) and replayed verbatim on serialization, and the
+    plan-node form is materialized lazily, only for the few consumers that
+    need more than its URN strings.
+    """
 
-    def __post_init__(self) -> None:
-        if self.original is None:
-            self.original = self.plan.copy()
+    def __init__(
+        self,
+        plan: QueryPlan,
+        query_id: str | None = None,
+        provenance: ProvenanceLog | None = None,
+        original: QueryPlan | None | object = None,
+        preferences: QueryPreferences | None = None,
+        issued_at: float = 0.0,
+    ) -> None:
+        self.plan = plan
+        self.query_id = query_id if query_id is not None else f"q{next(_query_counter)}"
+        self.provenance = provenance if provenance is not None else ProvenanceLog()
+        self.preferences = preferences if preferences is not None else QueryPreferences()
+        self.issued_at = issued_at
+        self._original_xml: XMLElement | None = None
+        if original is _DEFERRED_ORIGINAL:
+            self._original: QueryPlan | None = None
+        elif original is None:
+            self._original = plan.copy()
+        else:
+            self._original = original  # type: ignore[assignment]
+
+    @property
+    def original(self) -> QueryPlan | None:
+        """The original, unevaluated plan (materialized from XML on demand)."""
+        if self._original is None and self._original_xml is not None:
+            self._original = plan_from_xml(self._original_xml)
+        return self._original
+
+    @original.setter
+    def original(self, value: QueryPlan | None) -> None:
+        self._original = value
+        self._original_xml = None
 
     # -- convenience ------------------------------------------------------------ #
 
@@ -107,6 +143,32 @@ class MutantQueryPlan:
         resources.extend(ref.url for ref in self.original.url_refs())
         return resources
 
+    def original_urn_strings(self) -> list[str]:
+        """URN strings of the original plan, without materializing it.
+
+        The meta-index learning step (§5.1) inspects the original's URNs at
+        every hop; reading them straight off the carried wire form skips
+        rebuilding plan nodes (and re-parsing predicates) per hop.
+        ``<collection>`` subtrees are skipped — they hold verbatim user
+        data, where a ``<urn>`` tag would be payload, not a plan leaf.
+        """
+        if self._original is not None:
+            return [ref.urn for ref in self._original.urn_refs()]
+        if self._original_xml is None:
+            return []
+        found: list[str] = []
+        stack = [self._original_xml]
+        while stack:
+            node = stack.pop()
+            if node.tag == "collection":
+                continue
+            if node.tag == "urn":
+                name = node.get("name")
+                if name is not None:
+                    found.append(name)
+            stack.extend(reversed(node.children))
+        return found
+
     def elapsed_ms(self, now: float) -> float:
         """Simulated time since the query was issued."""
         return max(0.0, now - self.issued_at)
@@ -119,13 +181,20 @@ class MutantQueryPlan:
     # -- wire format --------------------------------------------------------------- #
 
     def to_xml(self) -> XMLElement:
-        """Serialize the complete MQP (plan, original, provenance, preferences)."""
+        """Serialize the complete MQP (plan, original, provenance, preferences).
+
+        The returned tree aliases the original's carried wire form (and,
+        transitively, any verbatim result data); it is meant to be rendered
+        to text immediately, not mutated.
+        """
         children = [
             XMLElement("current", {}, [plan_to_xml(self.plan)]),
             self.preferences.to_xml(),
             self.provenance.to_xml(),
         ]
-        if self.original is not None:
+        if self._original_xml is not None and flags.lazy_original_plans:
+            children.append(XMLElement("original", {}, [self._original_xml]))
+        elif self.original is not None:
             children.append(XMLElement("original", {}, [plan_to_xml(self.original)]))
         return XMLElement(
             "mutant-query",
@@ -151,8 +220,8 @@ class MutantQueryPlan:
             raise PlanError("<mutant-query> has no <current> plan")
         plan = plan_from_xml(current.children[0])
         original_wrapper = element.find("original")
-        original = (
-            plan_from_xml(original_wrapper.children[0])
+        original_xml = (
+            original_wrapper.children[0]
             if original_wrapper is not None and original_wrapper.children
             else None
         )
@@ -168,14 +237,20 @@ class MutantQueryPlan:
             if provenance_element is not None
             else ProvenanceLog()
         )
-        return cls(
+        defer = original_xml is not None and flags.lazy_original_plans
+        mqp = cls(
             plan=plan,
             query_id=element.get("id", f"q{next(_query_counter)}"),
             provenance=provenance,
-            original=original,
+            original=_DEFERRED_ORIGINAL
+            if defer
+            else (plan_from_xml(original_xml) if original_xml is not None else None),
             preferences=preferences,
             issued_at=float(element.get("issued-at", "0") or 0.0),
         )
+        if defer:
+            mqp._original_xml = original_xml
+        return mqp
 
     @classmethod
     def deserialize(cls, document: str) -> "MutantQueryPlan":

@@ -16,7 +16,7 @@ from enum import Enum
 from typing import Collection, Sequence
 
 from ..algebra.operators import LeafNode, PlanNode, URLRef, URNRef, VerbatimData
-from ..catalog import Binder, Catalog, RoutingCache, ServerRole
+from ..catalog import Binder, Catalog, RoutingCache, ServerRole, canonical_address
 from ..engine import EvaluationMemo, QueryEngine
 from ..engine.statistics import collect_statistics
 from ..errors import RoutingError, URNError
@@ -88,6 +88,7 @@ class MQPProcessor:
         max_hops: int = 32,
     ) -> None:
         self.address = address
+        self._canonical_address = canonical_address(address)
         self.catalog = catalog
         self.namespace = namespace
         self.collections = collections if collections is not None else {}
@@ -114,7 +115,7 @@ class MQPProcessor:
         self.collections[path] = list(items)
 
     def _is_local_url(self, leaf: URLRef) -> bool:
-        if leaf.url not in (self.address, f"http://{self.address}"):
+        if canonical_address(leaf.url) != self._canonical_address:
             return False
         return leaf.path is None or self.has_collection(leaf.path)
 
@@ -336,12 +337,15 @@ class MQPProcessor:
         """Every index / meta-index server this catalog knows about."""
         if context is not None and context.indexers is not None:
             return context.indexers
-        entries = sorted(
+        # Role buckets in the catalog index make this O(indexers), not
+        # O(catalog) — the seed scanned every server entry per stuck URN.
+        entries = [
             entry.address
-            for entry in self.catalog.servers.values()
-            if entry.role in (ServerRole.INDEX, ServerRole.META_INDEX)
-            and entry.address != self.address
-        )
+            for entry in self.catalog.servers_with_roles(
+                (ServerRole.INDEX, ServerRole.META_INDEX)
+            )
+            if entry.address != self.address
+        ]
         if context is not None:
             context.indexers = entries
         return entries
@@ -361,7 +365,9 @@ class MQPProcessor:
             area, roles=(ServerRole.INDEX, ServerRole.META_INDEX)
         ):
             candidates.append(entry.address)
-        result = [address for address in candidates if address != self.address]
+        result = [
+            address for address in candidates if address != self._canonical_address
+        ]
         if context is not None:
             context.routing_servers[str(area)] = result
         return result
@@ -450,7 +456,7 @@ class MQPProcessor:
         data_candidates: list[str] = []
         for ref in mqp.plan.url_refs():
             if not self._is_local_url(ref):
-                data_candidates.append(ref.url.removeprefix("http://"))
+                data_candidates.append(canonical_address(ref.url))
         for ref in mqp.plan.urn_refs():
             parsed = self._parse_urn(ref.urn, context)
             if parsed is None:
@@ -471,8 +477,12 @@ class MQPProcessor:
     ) -> list[str]:
         ordered: list[str] = []
         for candidate in candidates:
-            address = candidate.removeprefix("http://")
-            if address != self.address and address not in ordered and address not in avoid:
+            address = canonical_address(candidate)
+            if (
+                address != self._canonical_address
+                and address not in ordered
+                and address not in avoid
+            ):
                 ordered.append(address)
         return ordered
 
@@ -482,15 +492,17 @@ class MQPProcessor:
 
     def learn_from(self, mqp: MutantQueryPlan) -> None:
         """Cache which servers successfully handled which interest areas."""
-        for ref in mqp.original.urn_refs() if mqp.original else []:
+        # Reading URN strings off the carried wire form avoids materializing
+        # the original plan (node building + predicate parsing) per hop.
+        for urn in mqp.original_urn_strings():
             try:
-                parsed = parse_urn(ref.urn)
+                parsed = parse_urn(urn)
             except URNError:
                 continue
             if not isinstance(parsed, InterestAreaURN):
                 continue
             for record in mqp.provenance.records:
-                if record.action is ProvenanceAction.BOUND and record.detail == ref.urn:
+                if record.action is ProvenanceAction.BOUND and record.detail == urn:
                     if record.server != self.address:
                         self.cache.remember(parsed.area, record.server)
 

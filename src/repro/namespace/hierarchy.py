@@ -14,12 +14,16 @@ unknown categories by known ancestors).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..errors import NamespaceError
 
 __all__ = ["CategoryPath", "TOP", "Hierarchy"]
+
+_PARSE_CACHE: dict[str, "CategoryPath"] = {}
+_PARSE_CACHE_LIMIT = 65536
 
 
 @dataclass(frozen=True, order=True)
@@ -47,16 +51,40 @@ class CategoryPath:
         for segment in self.segments:
             if not segment or "/" in segment or segment == "*":
                 raise NamespaceError(f"invalid category segment: {segment!r}")
+        # Intern the segment labels: the category vocabulary is small and
+        # shared by every peer, so label comparisons inside prefix checks
+        # become pointer comparisons instead of character scans.
+        object.__setattr__(
+            self, "segments", tuple(sys.intern(segment) for segment in self.segments)
+        )
+        object.__setattr__(self, "_hash", hash(self.segments))
+
+    def __hash__(self) -> int:
+        # The dataclass-generated hash rehashes the segments tuple on every
+        # call; paths key the catalog tries and comparison caches, so the
+        # hash is computed once at construction instead.
+        return self._hash  # type: ignore[attr-defined]
 
     # -- construction -------------------------------------------------- #
 
     @classmethod
     def parse(cls, text: str, separator: str = "/") -> "CategoryPath":
         """Parse ``USA/OR/Portland`` (or ``*`` for the top category)."""
+        if separator == "/":
+            cached = _PARSE_CACHE.get(text)
+            if cached is not None:
+                return cached
+        raw = text
         text = text.strip()
         if text in ("", "*"):
-            return TOP
-        return cls(tuple(part.strip() for part in text.split(separator) if part.strip()))
+            parsed = TOP
+        else:
+            parsed = cls(tuple(part.strip() for part in text.split(separator) if part.strip()))
+        if separator == "/":
+            if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+                _PARSE_CACHE.clear()
+            _PARSE_CACHE[raw] = parsed
+        return parsed
 
     def child(self, label: str) -> "CategoryPath":
         """Return the child category of this one named ``label``."""
@@ -99,7 +127,11 @@ class CategoryPath:
         a cell covers another iff each of its coordinates covers the
         corresponding coordinate (paper §3.1).
         """
-        return other.segments[: len(self.segments)] == self.segments
+        mine = self.segments
+        theirs = other.segments
+        if len(mine) > len(theirs):
+            return False
+        return theirs[: len(mine)] == mine
 
     def overlaps(self, other: "CategoryPath") -> bool:
         """True when the two categories share any items (one covers the other)."""
@@ -129,7 +161,13 @@ class CategoryPath:
         return self.depth - ancestor.depth
 
     def __str__(self) -> str:
-        return "/".join(self.segments) if self.segments else "*"
+        # str(path) keys routing caches and batch contexts on the hot path,
+        # so the rendered form is computed once per path object.
+        text = self.__dict__.get("_text")
+        if text is None:
+            text = "/".join(self.segments) if self.segments else "*"
+            object.__setattr__(self, "_text", text)
+        return text
 
 
 TOP = CategoryPath()

@@ -12,12 +12,33 @@ catalog registration, query routing, and redundancy reasoning.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..errors import NamespaceError
 from .hierarchy import TOP, CategoryPath, Hierarchy
 
 __all__ = ["InterestCell", "InterestArea", "MultiHierarchicNamespace"]
+
+
+# Cell-to-cell comparisons dominate every catalog lookup: each test walks the
+# coordinate tuples and compares label prefixes.  Cells are immutable value
+# objects with precomputed hashes, so the results are memoized process-wide;
+# the cache bound comfortably holds the working set of a thousand-peer
+# scenario (distinct server-cell × query-cell pairs) without growing without
+# limit under adversarial workloads.
+@lru_cache(maxsize=1 << 17)
+def _cell_covers(mine: "InterestCell", theirs: "InterestCell") -> bool:
+    return all(
+        ours.covers(other) for ours, other in zip(mine.coordinates, theirs.coordinates)
+    )
+
+
+@lru_cache(maxsize=1 << 17)
+def _cell_overlaps(mine: "InterestCell", theirs: "InterestCell") -> bool:
+    return all(
+        ours.overlaps(other) for ours, other in zip(mine.coordinates, theirs.coordinates)
+    )
 
 
 @dataclass(frozen=True, order=True)
@@ -34,6 +55,12 @@ class InterestCell:
     def __post_init__(self) -> None:
         if not self.coordinates:
             raise NamespaceError("an interest cell needs at least one dimension")
+        object.__setattr__(self, "_hash", hash(self.coordinates))
+
+    def __hash__(self) -> int:
+        # Precomputed: cells key catalog-trie buckets and the comparison
+        # caches, and the coordinate hashes are themselves precomputed.
+        return self._hash  # type: ignore[attr-defined]
 
     @classmethod
     def of(cls, *coordinates: CategoryPath | str) -> "InterestCell":
@@ -52,18 +79,12 @@ class InterestCell:
     def covers(self, other: "InterestCell") -> bool:
         """True when, per dimension, our category is an ancestor of (or equals) theirs."""
         self._check_compatible(other)
-        return all(
-            mine.covers(theirs)
-            for mine, theirs in zip(self.coordinates, other.coordinates)
-        )
+        return _cell_covers(self, other)
 
     def overlaps(self, other: "InterestCell") -> bool:
         """True when some item could belong to both cells."""
         self._check_compatible(other)
-        return all(
-            mine.overlaps(theirs)
-            for mine, theirs in zip(self.coordinates, other.coordinates)
-        )
+        return _cell_overlaps(self, other)
 
     def intersect(self, other: "InterestCell") -> "InterestCell | None":
         """Return the most general cell covered by both, or ``None`` if disjoint."""
@@ -92,7 +113,13 @@ class InterestCell:
             )
 
     def __str__(self) -> str:
-        return "[" + ", ".join(str(coord) for coord in self.coordinates) + "]"
+        # Cached: str(cell) feeds str(area), which keys the routing cache
+        # and the batched-processing contexts.
+        text = self.__dict__.get("_text")
+        if text is None:
+            text = "[" + ", ".join(str(coord) for coord in self.coordinates) + "]"
+            object.__setattr__(self, "_text", text)
+        return text
 
 
 class InterestArea:

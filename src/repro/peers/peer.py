@@ -47,6 +47,7 @@ from ..mqp import (
 )
 from ..namespace import InterestArea, MultiHierarchicNamespace
 from ..network import Message, NetworkNode
+from ..perf import flags
 from ..xmlmodel import XMLElement, parse_xml, serialize_xml
 
 __all__ = ["RegistrationPayload", "QueryResult", "QueryPeer"]
@@ -375,7 +376,12 @@ class QueryPeer(NetworkNode):
         target = mqp.target or self.address
         mqp.provenance.add(self.address, ProvenanceAction.DELIVERED, self.now, detail=target)
         items = self._extract_result_items(mqp, partial)
-        collection = XMLElement("result", {"query-id": mqp.query_id}, [item.copy() for item in items])
+        # The wrapper shares the items: it exists only to be serialized on
+        # the next line, and serialization never mutates, so the per-item
+        # deep copy the seed made here bought nothing at delivery scale.
+        if not flags.shared_wire_trees:
+            items = [item.copy() for item in items]
+        collection = XMLElement("result", {"query-id": mqp.query_id}, items)
         payload = serialize_xml(collection)
         kind = "partial-result" if partial else "result"
         envelope = {

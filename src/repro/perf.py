@@ -1,0 +1,82 @@
+"""Runtime switches for the measured hot paths.
+
+Every structural optimization added for the indexed-catalog work keeps the
+seed implementation alive next to it: the linear catalog scans remain the
+correctness oracle for the trie index, and the validating XML constructors
+remain the reference for the trusted fast-copy path.  This module is the
+single switchboard — benchmarks flip it to measure *this* build against the
+seed algorithms inside one process, and the equivalence tests flip it to
+prove both paths return byte-identical results.
+
+The flags are read at call time (not import time), so a context manager can
+toggle them mid-run.  They are process-global on purpose: a benchmark
+comparing modes must never accidentally mix them within one measurement.
+
+This module imports nothing from the rest of the package so any layer
+(xmlmodel, catalog, network) can consult it without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["flags", "seed_baseline"]
+
+
+class _Flags:
+    """Hot-path feature switches; attribute loads keep the checks cheap.
+
+    * ``indexed_catalog`` — trie-backed catalog lookups vs. the seed's
+      linear scans.
+    * ``trusted_xml_copies`` — validation-free construction for copies of
+      already-validated XML subtrees vs. the seed's re-validating
+      constructor.
+    * ``shared_wire_trees`` — plan (de)serialization and result delivery
+      alias write-once subtrees vs. the seed's defensive deep copies.
+    * ``lazy_original_plans`` — the immutable original plan carried by an
+      MQP is replayed from its wire form and materialized on demand vs. the
+      seed's re-encode/re-parse at every hop.
+    * ``cached_predicates`` — identical predicate texts share one memoized
+      immutable expression AST vs. the seed's per-call tokenizer run.
+    """
+
+    __slots__ = (
+        "indexed_catalog",
+        "trusted_xml_copies",
+        "shared_wire_trees",
+        "lazy_original_plans",
+        "cached_predicates",
+    )
+
+    def __init__(self) -> None:
+        self.indexed_catalog = True
+        self.trusted_xml_copies = True
+        self.shared_wire_trees = True
+        self.lazy_original_plans = True
+        self.cached_predicates = True
+
+
+flags = _Flags()
+"""The process-wide switchboard.  Mutate via :func:`seed_baseline` in tests."""
+
+
+@contextmanager
+def seed_baseline() -> Iterator[None]:
+    """Run the enclosed block with the seed-era algorithms.
+
+    Inside the block, catalogs answer lookups with the original linear scan
+    plus per-call sort, and XML subtree copies re-validate every node — the
+    algorithmic shape of the pre-index implementation.  Used by the
+    benchmarks to measure the optimized paths against the seed behaviour,
+    and by the equivalence tests to diff their results.
+    """
+    names = _Flags.__slots__
+    previous = {name: getattr(flags, name) for name in names}
+    for name in names:
+        setattr(flags, name, False)
+    try:
+        yield
+    finally:
+        for name, value in previous.items():
+            setattr(flags, name, value)

@@ -12,7 +12,15 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping
 
+from ..perf import flags
+
 __all__ = ["XMLElement", "element", "text_element"]
+
+# Tags repeat massively (a thousand-peer run builds hundreds of thousands of
+# <item>/<price>/<plan> nodes), so tag validation is a set hit after the
+# first sighting instead of a per-character scan every time.
+_VALIDATED_TAGS: set[str] = set()
+_VALIDATED_TAGS_LIMIT = 65536
 
 
 class XMLElement:
@@ -41,8 +49,12 @@ class XMLElement:
         children: Iterable["XMLElement"] | None = None,
         text: str | None = None,
     ) -> None:
-        if not tag or any(ch.isspace() for ch in tag):
-            raise ValueError(f"invalid element tag: {tag!r}")
+        if tag not in _VALIDATED_TAGS:
+            if not isinstance(tag, str) or not tag or any(ch.isspace() for ch in tag):
+                raise ValueError(f"invalid element tag: {tag!r}")
+            if len(_VALIDATED_TAGS) >= _VALIDATED_TAGS_LIMIT:
+                _VALIDATED_TAGS.clear()
+            _VALIDATED_TAGS.add(tag)
         self.tag = tag
         self.attributes: dict[str, str] = {
             str(key): str(value) for key, value in (attributes or {}).items()
@@ -52,6 +64,28 @@ class XMLElement:
             if not isinstance(child, XMLElement):
                 raise TypeError(f"child must be XMLElement, got {type(child).__name__}")
         self.text = text
+
+    @classmethod
+    def _trusted(
+        cls,
+        tag: str,
+        attributes: dict[str, str],
+        children: list["XMLElement"],
+        text: str | None,
+    ) -> "XMLElement":
+        """Build a node from already-validated parts, skipping all checks.
+
+        Only for internal callers that can vouch for every argument —
+        :meth:`copy` (the source tree was validated when built) and the
+        parser (ElementTree guarantees string tags/attributes).  The
+        arguments are adopted, not copied.
+        """
+        node = cls.__new__(cls)
+        node.tag = tag
+        node.attributes = attributes
+        node.children = children
+        node.text = text
+        return node
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -70,7 +104,20 @@ class XMLElement:
             self.append(child)
 
     def copy(self) -> "XMLElement":
-        """Return a deep copy of this subtree."""
+        """Return a deep copy of this subtree.
+
+        Deep copies dominate result delivery and plan mutation at scale;
+        every node of this subtree was validated when it was built, so the
+        copy takes the trusted path unless the seed-baseline flag asks for
+        the original re-validating constructor.
+        """
+        if flags.trusted_xml_copies:
+            return XMLElement._trusted(
+                self.tag,
+                dict(self.attributes),
+                [child.copy() for child in self.children],
+                self.text,
+            )
         return XMLElement(
             self.tag,
             dict(self.attributes),

@@ -13,9 +13,17 @@ from __future__ import annotations
 
 import io
 import xml.etree.ElementTree as _ET
-from xml.sax.saxutils import escape, quoteattr
+from functools import lru_cache
+from xml.sax.saxutils import escape as _escape, quoteattr as _quoteattr
+
+# Text content and attribute values repeat heavily (tags, prices, organism
+# names, provenance fields), so the escaping work is memoized.  Bounded
+# caches: plan documents can carry arbitrary user data.
+escape = lru_cache(maxsize=16384)(_escape)
+quoteattr = lru_cache(maxsize=16384)(_quoteattr)
 
 from ..errors import XMLParseError
+from ..perf import flags
 from .element import XMLElement
 
 __all__ = ["parse_xml", "serialize_xml", "serialized_size"]
@@ -45,6 +53,11 @@ def _convert(node: _ET.Element) -> XMLElement:
             f"element <{node.tag}> mixes text and child elements; "
             "mixed content is not supported"
         )
+    if flags.trusted_xml_copies:
+        # ElementTree already guarantees string tags and attributes, and
+        # every child went through this function — skip re-validation.
+        # Parsing happens per hop per plan, so this is hot at scale.
+        return XMLElement._trusted(node.tag, dict(node.attrib), children, text)
     return XMLElement(node.tag, dict(node.attrib), children, text)
 
 
