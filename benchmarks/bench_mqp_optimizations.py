@@ -12,7 +12,6 @@ mutated plan (the quantity §2 says "matters"):
 
 from __future__ import annotations
 
-import pytest
 
 from repro.algebra import PlanBuilder, VerbatimData, plan_wire_size
 from repro.engine import CostModel, QueryEngine

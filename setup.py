@@ -14,11 +14,12 @@ README = ROOT / "README.md"
 
 setup(
     name="repro-p2p-mqp",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Distributed Query Processing and Catalogs for "
         "Peer-to-Peer Systems' (CIDR 2003): mutant query plans, "
-        "multi-hierarchic namespaces, and a thousand-peer simulation harness"
+        "multi-hierarchic namespaces, a thousand-peer simulation harness, "
+        "and a pluggable transport layer with a real asyncio TCP backend"
     ),
     long_description=README.read_text(encoding="utf-8") if README.exists() else "",
     long_description_content_type="text/markdown",
@@ -34,6 +35,16 @@ setup(
     extras_require={
         "test": ["pytest"],
         "bench": ["pytest", "pytest-benchmark"],
+        # CI toolchain: pinned so lint/typecheck failures mean code
+        # changes, not tool drift.  pytest-timeout guards the real-socket
+        # transport tests against hung sockets wedging the suite.
+        "dev": [
+            "pytest",
+            "pytest-benchmark",
+            "pytest-timeout==2.3.1",
+            "ruff==0.8.4",
+            "mypy==1.13.0",
+        ],
     },
     entry_points={
         "console_scripts": [
@@ -44,6 +55,7 @@ setup(
         "Programming Language :: Python :: 3.10",
         "Programming Language :: Python :: 3.11",
         "Programming Language :: Python :: 3.12",
+        "Programming Language :: Python :: 3.13",
         "Topic :: Database",
         "Topic :: System :: Distributed Computing",
     ],

@@ -24,7 +24,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from ..algebra import QueryPlan
-from ..algebra.operators import PlanNode, Select, URLRef, VerbatimData
+from ..algebra.operators import PlanNode, Select, URLRef
 from ..algebra.serialization import serialize_plan
 from ..engine import QueryEngine
 from ..network import Message, NetworkNode

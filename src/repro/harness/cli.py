@@ -28,7 +28,7 @@ import time
 from dataclasses import replace
 
 from ..errors import ReproError
-from ..network import CHURN_PROFILES, TOPOLOGY_KINDS
+from ..network import CHURN_PROFILES, TOPOLOGY_KINDS, TRANSPORT_KINDS
 from .report import format_summary, write_json_report
 from .scaleout import ROUTING_KINDS, WORKLOAD_KINDS, ScaleoutSpec, run_scaleout
 
@@ -77,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="churn profile applied to data peers (default: none)")
     parser.add_argument("--routing", choices=ROUTING_KINDS, default=None,
                         help="query routing strategy (default: mqp)")
+    parser.add_argument("--transport", choices=TRANSPORT_KINDS, default="sim",
+                        help="delivery backend: deterministic simulator or real "
+                             "asyncio TCP sockets on localhost (default: sim; "
+                             "reports are byte-identical across backends)")
     parser.add_argument("--queries", type=int, default=None,
                         help="number of queries to issue (default: 12)")
     parser.add_argument("--seed", type=int, default=None,
@@ -133,6 +137,7 @@ def _list_options() -> str:
     lines.append(f"Workloads:       {', '.join(WORKLOAD_KINDS)}")
     lines.append(f"Churn profiles:  {', '.join(sorted(CHURN_PROFILES))}")
     lines.append(f"Routing:         {', '.join(ROUTING_KINDS)}")
+    lines.append(f"Transports:      {', '.join(TRANSPORT_KINDS)}")
     return "\n".join(lines)
 
 
@@ -147,7 +152,7 @@ def main(argv: list[str] | None = None) -> int:
     spec = _spec_from_args(args)
     started = time.perf_counter()
     try:
-        report = run_scaleout(spec)
+        report = run_scaleout(spec, transport=args.transport)
     except ReproError as error:
         parser.error(str(error))  # exits with status 2
         return 2  # pragma: no cover - parser.error raises SystemExit
@@ -158,7 +163,7 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"scenario {spec.name}: {report['population']['total_nodes']} nodes, "
           f"{len(report['queries'])} queries, churn={spec.churn} "
-          f"({report['churn']['events']} events)")
+          f"({report['churn']['events']} events), transport={args.transport}")
     print(format_summary(report["traffic"], title="traffic"))
     if "processing" in report:
         print(format_summary(report["processing"], title="mqp processing"))

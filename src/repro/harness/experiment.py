@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..algebra import PlanBuilder, QueryPlan
-from ..catalog import ServerRole
 from ..distributed import CoordinatorClient, CoordinatorServer, SubordinateServer
 from ..mqp import QueryPreferences
 from ..namespace import (
@@ -247,7 +246,7 @@ def run_gnutella_queries(
         scenario.network.run_until_idle()
         trace = scenario.network.metrics.trace(query_id)
         if trace.completed_at is None:
-            trace.completed_at = scenario.network.simulator.now
+            trace.completed_at = scenario.network.now
     return scenario.network.metrics.summary()
 
 
@@ -298,7 +297,7 @@ def run_napster_queries(scenario: NapsterScenario, queries: list[QuerySpec]) -> 
         scenario.network.run_until_idle()
         trace = scenario.network.metrics.trace(query_id)
         if trace.completed_at is None:
-            trace.completed_at = scenario.network.simulator.now
+            trace.completed_at = scenario.network.now
     return scenario.network.metrics.summary()
 
 
@@ -356,7 +355,7 @@ def run_routing_index_queries(
         scenario.network.run_until_idle()
         trace = scenario.network.metrics.trace(query_id)
         if trace.completed_at is None:
-            trace.completed_at = scenario.network.simulator.now
+            trace.completed_at = scenario.network.now
     return scenario.network.metrics.summary()
 
 

@@ -19,7 +19,6 @@ from dataclasses import asdict, dataclass, field
 from typing import Callable
 
 from ..algebra import PlanBuilder, QueryPlan
-from ..catalog import ServerRole
 from ..errors import SimulationError
 from ..mqp import QueryPreferences
 from ..namespace import (
@@ -37,7 +36,9 @@ from ..network import (
     Network,
     TOPOLOGY_KINDS,
     Topology,
+    Transport,
     build_topology,
+    build_transport,
 )
 from ..peers import (
     BaseServer,
@@ -65,6 +66,7 @@ __all__ = [
     "WORKLOAD_KINDS",
     "ROUTING_KINDS",
     "build_scaleout_scenario",
+    "schedule_queries",
     "run_scaleout",
 ]
 
@@ -382,9 +384,21 @@ def _cell_for_item(
 # --------------------------------------------------------------------------- #
 
 
-def build_scaleout_scenario(spec: ScaleoutSpec) -> ScaleoutScenario:
-    """Stand up the full scenario: population, overlay, strategy, churn."""
+def build_scaleout_scenario(
+    spec: ScaleoutSpec, transport: "Transport | str | None" = None
+) -> ScaleoutScenario:
+    """Stand up the full scenario: population, overlay, strategy, churn.
+
+    ``transport`` selects the delivery backend (``"sim"``, ``"aio"``, or an
+    instance) — it is a *run* parameter, deliberately not part of the spec:
+    the same spec must produce a byte-identical report on every backend, so
+    the report's scenario block cannot mention the transport.
+    """
     spec.validate()
+    if transport is None:
+        transport = build_transport("sim")
+    elif isinstance(transport, str):
+        transport = build_transport(transport)
     namespace, data_peers, queries = _POPULATIONS[spec.workload](spec)
 
     addresses = [peer.address for peer in data_peers] + ["client:9020"]
@@ -395,6 +409,7 @@ def build_scaleout_scenario(spec: ScaleoutSpec) -> ScaleoutScenario:
     network = Network(
         latency=LatencyModel(seed=spec.seed),
         notify_unreachable=(spec.routing == "mqp"),
+        transport=transport,
     )
     scenario = ScaleoutScenario(
         spec=spec,
@@ -449,22 +464,50 @@ def _issue_baseline_query(scenario: ScaleoutScenario, query: _Query, label: str)
     return query_id
 
 
-def run_scaleout(spec: ScaleoutSpec) -> dict[str, object]:
+def run_scaleout(
+    spec: ScaleoutSpec, transport: "Transport | str | None" = None
+) -> dict[str, object]:
     """Build a scenario, run its query schedule under churn, return the report.
 
     Queries are issued ``query_interval_ms`` apart so they interleave with
-    the churn window instead of racing ahead of it; the simulator then runs
+    the churn window instead of racing ahead of it; the scenario then runs
     to quiescence.  Everything in the returned report is derived from
-    seeded state, so the same spec always yields the same document.
+    seeded state, so the same spec always yields the same document — on
+    every transport backend (``transport`` picks one of
+    :data:`~repro.network.TRANSPORT_KINDS`; simulated time stays the
+    coordination authority, so the ``aio`` backend's real sockets change
+    wall-clock cost but not the report).
     """
-    scenario = build_scaleout_scenario(spec)
+    scenario = build_scaleout_scenario(spec, transport=transport)
     network = scenario.network
+    try:
+        query_ids = schedule_queries(scenario)
+        network.run_until_idle()
 
+        for query_id in query_ids:
+            trace = network.metrics.trace(query_id)
+            if trace.completed_at is None:
+                trace.completed_at = network.now
+
+        return _report(scenario, query_ids)
+    finally:
+        network.close()
+
+
+def schedule_queries(scenario: ScaleoutScenario) -> list[str]:
+    """Schedule the spec's query fire events on the scenario's clock.
+
+    Queries go ``query_interval_ms`` apart, starting from "now" (building
+    may already have advanced the clock with publish/advertise traffic).
+    The returned list fills with query ids as the fire events execute
+    during the subsequent run.  Shared by :func:`run_scaleout` and the
+    transport benchmark so both time the same schedule.
+    """
+    spec = scenario.spec
+    network = scenario.network
     issue = _issue_mqp_query if spec.routing == "mqp" else _issue_baseline_query
     query_ids: list[str] = []
-    # Building may already have advanced the clock (publish/advertise
-    # traffic), so the query schedule starts from "now".
-    start = network.simulator.now
+    start = network.now
     for position, query in enumerate(scenario.queries):
         at = start + position * spec.query_interval_ms
         label = f"{spec.name}-q{position}"
@@ -472,15 +515,8 @@ def run_scaleout(spec: ScaleoutSpec) -> dict[str, object]:
         def fire(query=query, label=label) -> None:
             query_ids.append(issue(scenario, query, label))
 
-        network.simulator.schedule_at(at, fire)
-    network.run_until_idle()
-
-    for query_id in query_ids:
-        trace = network.metrics.trace(query_id)
-        if trace.completed_at is None:
-            trace.completed_at = network.simulator.now
-
-    return _report(scenario, query_ids)
+        network.schedule_at(at, fire)
+    return query_ids
 
 
 def _report(scenario: ScaleoutScenario, query_ids: list[str]) -> dict[str, object]:

@@ -7,6 +7,13 @@ The :class:`MQPProcessor` implements one server's worth of that pipeline.
 It is network-agnostic: the peer classes in :mod:`repro.peers` feed it
 incoming plans and act on the returned :class:`ProcessingResult` (deliver
 the result, forward the plan, or report that it is stuck).
+
+Transport neutrality is a hard contract here: on the asyncio backend
+(:mod:`repro.network.transport.aio`) this pipeline runs inside the event
+loop's delivery callbacks, so nothing in it may block on I/O or wall-clock
+waits — time enters only through the ``now`` parameter (the shared logical
+clock), and every catalog/engine step is pure CPU.  That is what lets the
+same processing produce byte-identical scenario reports on both backends.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Collection, Sequence
 
-from ..algebra.operators import LeafNode, PlanNode, URLRef, URNRef, VerbatimData
+from ..algebra.operators import LeafNode, PlanNode, URLRef, VerbatimData
 from ..catalog import Binder, Catalog, RoutingCache, ServerRole, canonical_address
 from ..engine import EvaluationMemo, QueryEngine
 from ..engine.statistics import collect_statistics

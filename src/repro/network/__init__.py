@@ -14,6 +14,14 @@ from .metrics import NetworkMetrics, QueryTrace
 from .network import Network
 from .node import NetworkNode
 from .simulator import Event, Simulator
+from .transport import (
+    TRANSPORT_KINDS,
+    AsyncioTransport,
+    SimTransport,
+    Transport,
+    TransportError,
+    build_transport,
+)
 from .topology import (
     TOPOLOGY_KINDS,
     Topology,
@@ -32,6 +40,12 @@ __all__ = [
     "LatencyModel",
     "Network",
     "NetworkNode",
+    "Transport",
+    "TransportError",
+    "TRANSPORT_KINDS",
+    "build_transport",
+    "SimTransport",
+    "AsyncioTransport",
     "NetworkMetrics",
     "QueryTrace",
     "Topology",

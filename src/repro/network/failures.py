@@ -47,11 +47,11 @@ class FailureInjector:
         event = FailureEvent(address, fail_at, recover_at)
         self.events.append(event)
         node = self.network.node(address)
-        self.network.simulator.schedule_at(fail_at, node.go_offline)
+        self.network.schedule_at(fail_at, node.go_offline)
         if recover_at is not None:
             if recover_at <= fail_at:
                 raise ValueError("recovery must happen after the failure")
-            self.network.simulator.schedule_at(recover_at, node.go_online)
+            self.network.schedule_at(recover_at, node.go_online)
         return event
 
     def schedule_random(
@@ -131,9 +131,9 @@ class FailureInjector:
         # it (QueryPeer.leave unregisters from its indexers); crashes and
         # plain NetworkNodes just drop off.
         depart = getattr(node, "leave", node.go_offline) if event.kind == "leave" else node.go_offline
-        self.network.simulator.schedule_at(event.fail_at, depart)
+        self.network.schedule_at(event.fail_at, depart)
         if event.recover_at is not None:
-            self.network.simulator.schedule_at(event.recover_at, node.go_online)
+            self.network.schedule_at(event.recover_at, node.go_online)
         self.events.append(FailureEvent(event.address, event.fail_at, event.recover_at))
 
 

@@ -9,7 +9,7 @@ by the experiment harness.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, field
 
 from .message import Message

@@ -1,22 +1,27 @@
-"""The simulated peer-to-peer network: registration, delivery, failures.
+"""The peer-to-peer network: registration, delivery policy, failures.
 
 The :class:`Network` connects :class:`~repro.network.node.NetworkNode`
-instances through the discrete-event :class:`Simulator`.  Delivery charges
-the latency model's delay, records traffic in :class:`NetworkMetrics`, and
-silently drops messages to peers that are offline — exactly the failure
-mode the paper's fault-tolerance discussion cares about (an unavailable
-server makes some content unreachable but does not disable the system).
+instances through a pluggable :class:`~repro.network.transport.Transport`.
+The network owns *policy* — membership, the latency model, traffic metrics,
+and the drop/notice semantics the paper's fault-tolerance discussion cares
+about (an unavailable server makes some content unreachable but does not
+disable the system).  The transport owns *mechanics*: the deterministic
+discrete-event backend delivers by reference on the simulated clock, while
+the asyncio backend moves every payload through a real localhost TCP socket
+first.  Both produce identical logical outcomes (see ``docs/transport.md``).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..errors import SimulationError
 from .latency import LatencyModel
 from .message import Message
 from .metrics import NetworkMetrics
-from .simulator import Simulator
+from .simulator import Event, Simulator
+from .transport.base import Transport
+from .transport.sim import SimTransport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .node import NetworkNode
@@ -33,13 +38,39 @@ class Network:
         latency: LatencyModel | None = None,
         notify_unreachable: bool = False,
         unreachable_delay_ms: float = 5.0,
+        transport: Transport | None = None,
     ) -> None:
-        self.simulator = simulator or Simulator()
+        if transport is None:
+            transport = SimTransport(simulator)
+        elif simulator is not None:
+            raise SimulationError("pass either a simulator or a transport, not both")
+        self.transport = transport
+        self.transport.bind(self)
         self.latency = latency or LatencyModel()
         self.metrics = NetworkMetrics()
         self.notify_unreachable = notify_unreachable
         self.unreachable_delay_ms = unreachable_delay_ms
         self._nodes: dict[str, "NetworkNode"] = {}
+
+    # -- clock ---------------------------------------------------------------- #
+
+    @property
+    def simulator(self) -> Simulator:
+        """The logical clock shared by every component (owned by the transport)."""
+        return self.transport.simulator
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self.transport.simulator.now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule local work on the shared logical clock."""
+        return self.transport.simulator.schedule(delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule work at an absolute simulated time."""
+        return self.transport.simulator.schedule_at(time, callback)
 
     # -- membership --------------------------------------------------------- #
 
@@ -69,11 +100,21 @@ class Network:
         """All registered nodes in address order."""
         return [self._nodes[address] for address in self.addresses()]
 
+    # -- churn hooks (called by nodes; forwarded to the transport) ----------- #
+
+    def notify_peer_offline(self, address: str, graceful: bool = False) -> None:
+        """A node departed; real transports recycle its connections."""
+        self.transport.peer_offline(address, graceful=graceful)
+
+    def notify_peer_online(self, address: str) -> None:
+        """A node rejoined; transports may reopen connections lazily."""
+        self.transport.peer_online(address)
+
     # -- delivery -------------------------------------------------------------- #
 
     def send(self, message: Message) -> None:
         """Queue a message for delivery after the modelled network delay."""
-        message.sent_at = self.simulator.now
+        message.sent_at = self.now
         self.metrics.record_send(message)
         if message.recipient not in self._nodes:
             self._drop(message)
@@ -81,7 +122,7 @@ class Network:
         delay = self.latency.delivery_delay(
             message.sender, message.recipient, message.size_bytes
         )
-        self.simulator.schedule(delay, lambda: self._deliver(message))
+        self.transport.send(message, delay)
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.recipient)
@@ -96,8 +137,11 @@ class Network:
         With ``notify_unreachable`` on, the sender learns of the failure
         after a detection delay (modelling a connection timeout) via a
         synthesized ``peer-unreachable`` message carrying the original.
-        Churn-aware peers use it to invalidate routing state and reroute
-        in-flight plans instead of losing them silently.
+        Both drop paths notify — the send path (unknown recipient) and the
+        delivery path (peer crashed mid-delivery); ``tests/test_churn.py``
+        holds a regression test for the latter.  Churn-aware peers use the
+        notice to invalidate routing state and reroute in-flight plans
+        instead of losing them silently.
         """
         if message.kind == "peer-unreachable":
             # Synthetic detection notices are bookkeeping, not traffic:
@@ -116,20 +160,34 @@ class Network:
             kind="peer-unreachable",
             payload=message,
             size_bytes=0,
+            sent_at=self.now,
         )
-        self.simulator.schedule(
-            self.unreachable_delay_ms, lambda: self._deliver(notice)
-        )
+        # Notices bypass the transport's wire: they model the *sender's*
+        # local timeout detection, not a message from the dead peer.
+        self.schedule(self.unreachable_delay_ms, lambda: self._deliver(notice))
 
     # -- convenience ------------------------------------------------------------- #
 
     def run(self, until: float | None = None) -> None:
-        """Run the simulation (until idle, or until the given time)."""
-        self.simulator.run(until=until)
+        """Run the scenario (until idle, or until the given simulated time)."""
+        self.transport.run(until=until)
 
     def run_until_idle(self) -> None:
-        """Run the simulation until no events remain."""
-        self.simulator.run_until_idle()
+        """Run until no scheduled work remains."""
+        self.transport.run_until_idle()
+
+    def close(self) -> None:
+        """Release transport resources (sockets, loops).  Idempotent."""
+        self.transport.close()
+
+    def __enter__(self) -> "Network":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:
-        return f"Network(nodes={len(self._nodes)}, now={self.simulator.now:.1f}ms)"
+        return (
+            f"Network(nodes={len(self._nodes)}, now={self.now:.1f}ms, "
+            f"transport={self.transport.name})"
+        )

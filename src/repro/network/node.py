@@ -37,21 +37,30 @@ class NetworkNode:
         """Called by :meth:`Network.register`."""
         self.network = network
 
-    def go_offline(self) -> None:
-        """Take the node off the network (messages to it are dropped)."""
+    def go_offline(self, graceful: bool = False) -> None:
+        """Take the node off the network (messages to it are dropped).
+
+        ``graceful`` marks an announced departure (a *leave*) rather than a
+        crash; real transports use it to drain connections before closing
+        them.  The logical drop semantics are identical either way.
+        """
         self.online = False
+        if self.network is not None:
+            self.network.notify_peer_offline(self.address, graceful=graceful)
 
     def go_online(self) -> None:
         """Bring the node back."""
         self.online = True
+        if self.network is not None:
+            self.network.notify_peer_online(self.address)
 
     # -- messaging -------------------------------------------------------------- #
 
     @property
     def now(self) -> float:
-        """Current simulated time."""
+        """Current simulated time (the transport's logical clock)."""
         self._require_network()
-        return self.network.simulator.now  # type: ignore[union-attr]
+        return self.network.now  # type: ignore[union-attr]
 
     def send(
         self,
@@ -76,9 +85,9 @@ class NetworkNode:
         return message
 
     def schedule(self, delay: float, callback) -> None:
-        """Schedule local work on the shared simulator."""
+        """Schedule local work on the shared logical clock."""
         self._require_network()
-        self.network.simulator.schedule(delay, callback)  # type: ignore[union-attr]
+        self.network.schedule(delay, callback)  # type: ignore[union-attr]
 
     def receive(self, message: Message) -> None:
         """Entry point called by the network on delivery."""

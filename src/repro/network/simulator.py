@@ -129,6 +129,33 @@ class Simulator:
 
     # -- execution ------------------------------------------------------------ #
 
+    def peek(self) -> Event | None:
+        """Return the next live event without executing it (None when idle).
+
+        Cancelled events at the head of the heap are discarded on the way,
+        so a subsequent :meth:`step` pops exactly the returned event
+        (provided nothing earlier is scheduled in between).  Transports use
+        this to gate a delivery event on its frame's physical arrival.
+        """
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                if self._cancelled_pending:
+                    self._cancelled_pending -= 1
+                continue
+            return event
+        return None
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward to ``time`` without running anything.
+
+        Mirrors what :meth:`run` does when asked to run ``until`` a time
+        past the last event; moving backwards is a no-op.
+        """
+        if time > self._now:
+            self._now = time
+
     def step(self) -> bool:
         """Run the next pending event; return False when the queue is empty."""
         while self._queue:

@@ -1,0 +1,43 @@
+"""The deterministic simulator backend: the seed's semantics, unchanged.
+
+Delivery is one scheduled callback on the shared discrete-event clock —
+exactly what ``Network.send`` did before the transport extraction, so
+every pre-existing scenario report stays byte-identical (asserted by
+``tests/test_transport.py``).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import TYPE_CHECKING
+
+from ..simulator import Simulator
+from .base import Transport
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from ..message import Message
+
+__all__ = ["SimTransport"]
+
+
+class SimTransport(Transport):
+    """Pure discrete-event delivery: payloads travel by Python reference."""
+
+    name = "sim"
+
+    def __init__(self, simulator: Simulator | None = None) -> None:
+        super().__init__()
+        if simulator is not None:
+            self.simulator = simulator
+
+    def send(self, message: "Message", delay: float) -> None:
+        assert self._network is not None, "transport is not bound to a network"
+        self.simulator.schedule(
+            delay, functools.partial(self._network._deliver, message)
+        )
+
+    def run(self, until: float | None = None) -> None:
+        self.simulator.run(until=until)
+
+    def run_until_idle(self) -> None:
+        self.simulator.run_until_idle()

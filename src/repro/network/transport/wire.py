@@ -1,0 +1,95 @@
+"""Length-prefixed wire framing for real-socket transports.
+
+A frame is a 4-byte big-endian length followed by a pickled header tuple
+carrying the message envelope plus the payload in its own encoding:
+
+* ``str`` payloads — the common case: a mutant query plan travels as its
+  serialized XML document — ship as raw UTF-8 bytes, so what crosses the
+  socket for an MQP is exactly the paper's wire form;
+* everything else (registration payloads, result envelopes) ships pickled.
+
+Pickle is acceptable here because both frame ends live in the same trusted
+process on localhost — the transport exists to exercise real serialization
+cost and socket backpressure, not to speak to untrusted peers.  A
+multi-host backend would swap this module for a hardened codec; the
+framing (length prefix + envelope + payload) is the part that carries over.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+from ...errors import SimulationError
+from ..message import Message
+
+__all__ = ["HEADER", "MAX_FRAME_BYTES", "encode_frame", "decode_body"]
+
+HEADER = struct.Struct("!I")
+"""The length prefix: one unsigned 32-bit big-endian integer."""
+
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+"""Sanity cap on a single frame; a larger one indicates stream corruption."""
+
+_TEXT = 0
+_PICKLE = 1
+
+
+def encode_frame(message: Message) -> bytes:
+    """Render ``message`` as one length-prefixed frame."""
+    if isinstance(message.payload, str):
+        encoding, payload = _TEXT, message.payload.encode("utf-8")
+    else:
+        encoding, payload = _PICKLE, pickle.dumps(
+            message.payload, protocol=pickle.HIGHEST_PROTOCOL
+        )
+    body = pickle.dumps(
+        (
+            message.sender,
+            message.recipient,
+            message.kind,
+            message.message_id,
+            message.size_bytes,
+            message.sent_at,
+            message.hop,
+            encoding,
+            payload,
+        ),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    if len(body) > MAX_FRAME_BYTES:
+        raise SimulationError(
+            f"frame for message #{message.message_id} exceeds {MAX_FRAME_BYTES} bytes"
+        )
+    return HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Message:
+    """Rebuild the :class:`Message` from a frame body (sans length prefix).
+
+    The original ``message_id`` is preserved — it is the delivery key the
+    receiving transport matches logical events against — and the global
+    message counter is left untouched.
+    """
+    (
+        sender,
+        recipient,
+        kind,
+        message_id,
+        size_bytes,
+        sent_at,
+        hop,
+        encoding,
+        payload,
+    ) = pickle.loads(body)
+    value = payload.decode("utf-8") if encoding == _TEXT else pickle.loads(payload)
+    return Message(
+        sender=sender,
+        recipient=recipient,
+        kind=kind,
+        payload=value,
+        size_bytes=size_bytes,
+        message_id=message_id,
+        sent_at=sent_at,
+        hop=hop,
+    )

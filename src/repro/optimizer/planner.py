@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..algebra.operators import LeafNode, PlanNode
+from ..algebra.operators import PlanNode
 from ..algebra.plan import QueryPlan
 from ..engine.cost import CostEstimate, CostModel
 from .mqp_rules import AvailabilityCheck, deferrable_nodes, mqp_rules

@@ -225,19 +225,20 @@ class QueryPeer(NetworkNode):
             self._flush_mqp_batch()
             for target in self.registration_targets:
                 self.send(target, "unregister", self.address, size_bytes=64)
-        self.go_offline()
+        self.go_offline(graceful=True)
 
-    def go_offline(self) -> None:
+    def go_offline(self, graceful: bool = False) -> None:
         """Crash: in-RAM state dies with the process.
 
         Plans accepted into the batch buffer but not yet processed are
         lost here (and counted, so recall degradation under crash churn
         stays attributable).  Graceful departures call :meth:`leave`,
-        which drains the buffer first.
+        which drains the buffer first and lets real transports flush the
+        goodbye traffic before recycling the peer's connections.
         """
         self.plans_lost_in_crash += len(self._mqp_buffer)
         self._mqp_buffer.clear()
-        super().go_offline()
+        super().go_offline(graceful=graceful)
 
     def go_online(self) -> None:
         """Rejoin after an outage and re-propagate the registration (§3.3).
@@ -480,7 +481,11 @@ class QueryPeer(NetworkNode):
         if original.kind == "mqp":
             mqp = MutantQueryPlan.deserialize(original.payload)
             self._process_and_act(mqp, rerouted=True)
-        elif original.kind in ("result", "partial-result", "register"):
+        else:
+            # Every other undeliverable kind is dead-lettered — results,
+            # registrations, acks, unregisters alike.  The previous
+            # allowlist silently discarded kinds it did not anticipate,
+            # which made failure accounting undercount under churn.
             self.dead_letters.append(original)
 
     # ------------------------------------------------------------------ #

@@ -13,7 +13,7 @@ perfect as long as the central index is reachable.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..namespace import InterestArea, InterestCell

@@ -15,7 +15,6 @@ from repro.algebra import (
     parse_predicate,
 )
 from repro.errors import PlanError
-from repro.xmlmodel import element, text_element
 from tests.conftest import make_item
 
 

@@ -5,15 +5,13 @@ from hypothesis import given, settings, strategies as st
 
 from repro.algebra import (
     PlanBuilder,
-    QueryPlan,
     parse_plan,
     plan_from_xml,
-    plan_to_xml,
     plan_wire_size,
     serialize_plan,
 )
 from repro.errors import PlanSerializationError
-from repro.xmlmodel import XMLElement, parse_xml
+from repro.xmlmodel import parse_xml
 from tests.conftest import make_item
 
 

@@ -17,7 +17,6 @@ import pytest
 from repro.algebra import PlanBuilder
 from repro.catalog import ServerRole
 from repro.mqp import QueryPreferences
-from repro.namespace import garage_sale_namespace
 from repro.network import CHURN_PROFILES, FailureInjector, Network
 from repro.peers import (
     BaseServer,
@@ -298,6 +297,60 @@ class TestChurnSchedules:
         injector = FailureInjector(network)
         with pytest.raises(SimulationError):
             injector.schedule_churn(["a:1"], "apocalyptic")
+
+
+class TestDeliveryPathNotices:
+    """Regression: the delivery path must notify, not just the send path.
+
+    ``Network._drop`` is reached two ways — at send time (unknown
+    recipient) and at delivery time (the peer crashed while the message was
+    in flight).  Both must emit the ``peer-unreachable`` notice when
+    ``notify_unreachable`` is on; a plan caught mid-flight by a crash would
+    otherwise be silently lost instead of rerouted.
+    """
+
+    def test_crash_mid_delivery_emits_notice_and_reroutes(self, churn_network, namespace):
+        network, base, index, meta, client = churn_network
+        mqp = client.issue_query(_portland_query(client, namespace), QueryPreferences())
+        # The client's forward to the index is now in flight; crash the
+        # index before the modelled delivery delay elapses.
+        network.schedule(0.5, index.go_offline)
+        network.run_until_idle()
+        result = client.result_for(mqp.query_id)
+        assert result is not None, "in-flight plan was silently dropped"
+        assert result.count == 2, "reroute around the mid-delivery crash failed"
+        assert index.address in client.suspected_dead
+        assert client.plans_rerouted >= 1
+
+    def test_notice_carries_the_original_message(self, namespace):
+        from repro.network import NetworkNode
+
+        received = []
+
+        class Probe(NetworkNode):
+            def handle_message(self, message):
+                received.append(message)
+
+        network = Network(notify_unreachable=True)
+        sender, target = Probe("sender:1"), Probe("target:1")
+        network.register(sender)
+        network.register(target)
+        original = sender.send("target:1", "mqp", "document")
+        network.schedule(0.5, target.go_offline)  # crash mid-delivery
+        network.run_until_idle()
+        notices = [m for m in received if m.kind == "peer-unreachable"]
+        assert len(notices) == 1
+        assert notices[0].payload is original
+        assert network.metrics.dropped_messages == 1
+
+    def test_undeliverable_ack_is_dead_lettered_not_dropped(self, churn_network, namespace):
+        """The previous allowlist silently discarded unanticipated kinds
+        (register-ack, unregister); every non-plan kind is dead-lettered now."""
+        network, base, index, meta, client = churn_network
+        base.send(index.address, "register-ack", base.server_entry(), size_bytes=64)
+        network.schedule(0.5, index.go_offline)
+        network.run_until_idle()
+        assert any(m.kind == "register-ack" for m in base.dead_letters)
 
 
 class TestScaleoutChurnEndToEnd:

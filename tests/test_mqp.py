@@ -21,7 +21,6 @@ from repro.mqp import (
     QueryPreferences,
 )
 from repro.namespace import InterestAreaURN
-from tests.conftest import make_item
 
 
 class TestProvenance:

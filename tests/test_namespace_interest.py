@@ -4,14 +4,12 @@ import pytest
 
 from repro.errors import NamespaceError
 from repro.namespace import (
-    CategoryPath,
     InterestArea,
     InterestCell,
     MultiHierarchicNamespace,
     garage_sale_namespace,
     gene_expression_namespace,
     location_hierarchy,
-    merchandise_hierarchy,
 )
 
 

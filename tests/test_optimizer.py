@@ -1,6 +1,5 @@
 """Tests for the rewrite framework, classical rules, and MQP-specific rules."""
 
-import pytest
 
 from repro.algebra import (
     ConjointOr,
@@ -19,7 +18,6 @@ from repro.optimizer import (
     consolidation_rule,
     deferrable_nodes,
     merge_adjacent_selects,
-    push_select_through_union,
     standard_rules,
 )
 from repro.xmlmodel import element, text_element

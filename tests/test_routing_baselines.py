@@ -1,8 +1,6 @@
 """Tests for the Gnutella, Napster, and routing-index baselines."""
 
-import pytest
 
-from repro.namespace import InterestArea, InterestCell
 from repro.network import Network, random_topology
 from repro.routing import GnutellaPeer, NapsterIndexServer, NapsterPeer, RoutingIndexPeer
 from tests.conftest import make_item

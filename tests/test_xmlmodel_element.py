@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import ReproError
 from repro.xmlmodel import XMLElement, element, text_element
 
 
