@@ -8,6 +8,12 @@ Builds the CD workload (sellers, a track-listing service standing in for
 CDDB/FreeDB, a favourite-songs list), executes the Figure 3 plan both as a
 travelling mutant query plan and under a traditional coordinator, and
 prints the side-by-side traffic comparison plus the answer.
+
+The MQP side runs through the public client API: ``run_cd_query_mqp``
+stands up a :class:`repro.api.Cluster`, publishes each seller's CDs under
+the ForSale URN via :class:`repro.api.Session`, and collects the answer
+from a :class:`repro.api.QueryHandle` — the same surface your own programs
+would use (see ``docs/api.md``).
 """
 
 from __future__ import annotations

@@ -4,16 +4,21 @@ Run with::
 
     python examples/garage_sale_marketplace.py
 
-Generates a synthetic marketplace (sellers with Zipf-skewed city and
-category specialties), runs the same query batch under catalog-routed
-mutant query plans, Gnutella-style broadcast, a Napster-style central
-index, and routing indices, and prints the comparison table.  It then shows
-the §4.3 completeness/currency/latency tradeoff for a replicated deployment
-under different time budgets.
+Opens with the public client API (``repro.api``): a small marketplace
+cluster where one seller crashes mid-deployment, showing how a
+:class:`~repro.api.QueryHandle` degrades loudly to a *partial* answer
+instead of silently losing results.  Then generates a synthetic
+marketplace (sellers with Zipf-skewed city and category specialties), runs
+the same query batch under catalog-routed mutant query plans,
+Gnutella-style broadcast, a Napster-style central index, and routing
+indices, and prints the comparison table.  Finally it shows the §4.3
+completeness/currency/latency tradeoff for a replicated deployment under
+different time budgets.
 """
 
 from __future__ import annotations
 
+from repro.api import Cluster, QueryPreferences
 from repro.catalog import (
     Binder,
     Catalog,
@@ -23,9 +28,47 @@ from repro.catalog import (
     ServerRole,
 )
 from repro.harness import compare_routing_strategies, format_table
-from repro.mqp import QueryPreferences
 from repro.qos import TradeoffPlanner
 from repro.workloads import GarageSaleConfig, GarageSaleWorkload, QueryWorkload
+
+
+def fluent_api_with_partial_answers() -> None:
+    """One fluent query surviving a seller crash (degrading to a partial answer)."""
+    workload = GarageSaleWorkload(GarageSaleConfig(sellers=6, mean_items_per_seller=8, seed=7))
+    namespace = workload.namespace
+    with Cluster(namespace=namespace, notify_unreachable=True) as cluster:
+        sessions = []
+        for seller in workload.sellers:
+            session = cluster.base_server(seller.address, seller.area)
+            session.publish("items", seller.items)
+            sessions.append(session)
+        cluster.meta_index("meta-index:9020")
+        buyer = cluster.client("buyer:9020")
+        cluster.connect()
+
+        # One seller drops off the network without notice.
+        crashed = sessions[0]
+        crashed.crash()
+
+        # Query all sporting goods: the Dallas seller still answers, the
+        # crashed Paris seller cannot — the plan reroutes around the
+        # failure and the answer degrades to a *partial* result, loudly
+        # flagged on the handle instead of silently shrinking.
+        area = namespace.area(["*", "SportingGoods"])
+        expected = workload.ground_truth_count(area, None)
+        handle = (
+            buyer.query()
+            .area(area)
+            .where("category contains 'SportingGoods'")
+            .expecting(expected)
+            .submit()
+        )
+        result = handle.result(timeout=120_000)
+        print(
+            f"Sporting-goods query with {crashed.address} crashed: "
+            f"{result.count}/{expected} items, partial={result.partial}, "
+            f"recall {handle.trace().recall:.2f}\n"
+        )
 
 
 def strategy_comparison() -> None:
@@ -83,6 +126,7 @@ def qos_tradeoffs() -> None:
 
 
 def main() -> None:
+    fluent_api_with_partial_answers()
     strategy_comparison()
     qos_tradeoffs()
 

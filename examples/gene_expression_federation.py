@@ -6,62 +6,58 @@ Run with::
 
 Three research groups host MIAME-style expression data and describe their
 holdings with interest areas over the Organism x CellType namespace.  A
-query about cardiac muscle cells in mammals is routed only to the groups
-whose interest areas overlap the query; the fruit-fly neural repository is
-never contacted.
+query about cardiac muscle cells in mammals — issued through the public
+client API (``repro.api``) and streamed back through a future-like
+:class:`~repro.api.QueryHandle` — is routed only to the groups whose
+interest areas overlap the query; the fruit-fly neural repository is never
+contacted.
 """
 
 from __future__ import annotations
 
-from repro.algebra import PlanBuilder
-from repro.mqp import QueryPreferences
-from repro.namespace import InterestAreaURN
-from repro.network import Network
-from repro.peers import BaseServer, ClientPeer, MetaIndexServer, register_offline, seed_with_meta_index
+from repro.api import Cluster
 from repro.workloads import GeneExpressionConfig, GeneExpressionWorkload
 
 
 def main() -> None:
     workload = GeneExpressionWorkload(GeneExpressionConfig(records_per_cell=3))
     namespace = workload.namespace
-    network = Network()
 
-    repositories = []
-    for repository in workload.repositories:
-        peer = BaseServer(repository.address, namespace, repository.area)
-        network.register(peer)
-        peer.publish_collection("experiments", repository.records)
-        repositories.append(peer)
-        print(f"{repository.name:32s} serves {repository.area}")
+    with Cluster(namespace=namespace) as cluster:
+        for repository in workload.repositories:
+            session = cluster.base_server(repository.address, repository.area)
+            session.publish("experiments", repository.records)
+            print(f"{repository.name:32s} serves {repository.area}")
 
-    meta_index = MetaIndexServer("nih-meta-index:9020", namespace)
-    client = ClientPeer("researcher:9020", namespace)
-    network.register(meta_index)
-    network.register(client)
-    register_offline([*repositories, meta_index, client])
-    seed_with_meta_index([client], [meta_index])
+        cluster.meta_index("nih-meta-index:9020")
+        researcher = cluster.client("researcher:9020")
+        cluster.connect()
 
-    query_area = workload.mammalian_cardiac_query_area()
-    expected = workload.matching_records(query_area)
-    print(f"\nQuery area: {query_area}")
-    print(f"Ground truth: {len(expected)} matching expression records")
+        query_area = workload.mammalian_cardiac_query_area()
+        expected = workload.matching_records(query_area)
+        print(f"\nQuery area: {query_area}")
+        print(f"Ground truth: {len(expected)} matching expression records")
 
-    plan = (
-        PlanBuilder.urn(str(InterestAreaURN.for_area(query_area)))
-        .select("cellType contains 'Muscle/Cardiac'")
-        .display(client.address)
-    )
-    mqp = client.issue_query(plan, QueryPreferences(), expected_answers=len(expected))
-    network.run_until_idle()
+        handle = (
+            researcher.query()
+            .area(query_area)
+            .where("cellType contains 'Muscle/Cardiac'")
+            .expecting(len(expected))
+            .submit()
+        )
+        result = handle.result(timeout=60_000)
 
-    trace = network.metrics.trace(mqp.query_id)
-    result = client.result_for(mqp.query_id)
-    print("\nRoute taken:", " -> ".join(trace.visited))
-    skipped = [r.address for r in workload.repositories if r.address not in trace.visited]
-    print("Repositories never contacted:", ", ".join(skipped) or "(none)")
-    print(f"Records returned: {result.count} (recall {trace.recall:.2f})")
-    genes = sorted({item.child_text("gene") for item in result.items})
-    print("Genes observed in cardiac records:", ", ".join(genes))
+        trace = handle.trace()
+        print("\nRoute taken:", " -> ".join(trace.visited))
+        skipped = [
+            repository.address
+            for repository in workload.repositories
+            if repository.address not in trace.visited
+        ]
+        print("Repositories never contacted:", ", ".join(skipped) or "(none)")
+        print(f"Records returned: {result.count} (recall {trace.recall:.2f})")
+        genes = sorted({item.child_text("gene") or "?" for item in result.items})
+        print("Genes observed in cardiac records:", ", ".join(genes))
 
 
 if __name__ == "__main__":

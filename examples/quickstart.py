@@ -2,34 +2,30 @@
 
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py            # deterministic simulator
+    python examples/quickstart.py aio        # same run over real TCP sockets
 
-It builds two Portland CD sellers, an Oregon index server, a global
-meta-index server and a client on the simulated network, registers
-everyone into the distributed catalog, and then issues the query
-"CDs under $10 in Portland" as a mutant query plan.  The output shows the
-route the plan took (meta-index -> index -> sellers), the provenance-style
-trace, and the answer.
+Everything goes through the public client API (``repro.api``): a
+:class:`~repro.api.Cluster` owns the network and transport, per-peer
+:class:`~repro.api.Session` handles publish data and issue queries, and the
+answer comes back as a future-like :class:`~repro.api.QueryHandle`.  The
+scenario: two Portland CD sellers, an Oregon index server, a global
+meta-index server and a client; the query is "CDs under $10 in Portland",
+travelling as a mutant query plan.  The output shows the route the plan
+took (meta-index -> index -> sellers), the traffic it cost, and the answer
+— identical on either transport backend.
 """
 
 from __future__ import annotations
 
-from repro.algebra import PlanBuilder
-from repro.mqp import QueryPreferences
-from repro.namespace import InterestAreaURN, garage_sale_namespace
-from repro.network import Network
-from repro.peers import (
-    BaseServer,
-    ClientPeer,
-    IndexServer,
-    MetaIndexServer,
-    register_offline,
-    seed_with_meta_index,
-)
-from repro.xmlmodel import element, text_element
+import sys
+
+from repro.api import Cluster
+from repro.namespace import garage_sale_namespace
+from repro.xmlmodel import XMLElement, element, text_element
 
 
-def cd(title: str, price: float) -> "element":
+def cd(title: str, price: float) -> XMLElement:
     return element(
         "item",
         {},
@@ -40,44 +36,43 @@ def cd(title: str, price: float) -> "element":
     )
 
 
-def main() -> None:
+def main(transport: str = "sim") -> None:
     namespace = garage_sale_namespace()
-    network = Network()
-
     portland_cds = namespace.area(["USA/OR/Portland", "Music/CDs"])
-    seller1 = BaseServer("seller1:9020", namespace, portland_cds)
-    seller2 = BaseServer("seller2:9020", namespace, portland_cds)
-    index_oregon = IndexServer("index-or:9020", namespace, namespace.area(["USA/OR", "*"]))
-    meta_index = MetaIndexServer("meta-index:9020", namespace)
-    client = ClientPeer("client:9020", namespace)
-    for peer in (seller1, seller2, index_oregon, meta_index, client):
-        network.register(peer)
 
-    seller1.publish_collection("cds", [cd("Abbey Road", 8), cd("Kind of Blue", 12)])
-    seller2.publish_collection("cds", [cd("Blue Train", 6), cd("Giant Steps", 14)])
+    with Cluster(namespace=namespace, transport=transport) as cluster:
+        seller1 = cluster.base_server("seller1:9020", portland_cds)
+        seller2 = cluster.base_server("seller2:9020", portland_cds)
+        cluster.index_server("index-or:9020", namespace.area(["USA/OR", "*"]))
+        cluster.meta_index("meta-index:9020")
+        client = cluster.client("client:9020")
 
-    # Wire the distributed catalog (base -> index -> meta-index) and give the
-    # client its out-of-band knowledge of the top-level meta-index server.
-    register_offline([seller1, seller2, index_oregon, meta_index, client])
-    seed_with_meta_index([client], [meta_index])
+        seller1.publish("cds", [cd("Abbey Road", 8), cd("Kind of Blue", 12)])
+        seller2.publish("cds", [cd("Blue Train", 6), cd("Giant Steps", 14)])
 
-    # The query: an interest-area URN plus a price selection, as in Figure 3.
-    urn = str(InterestAreaURN.for_area(portland_cds))
-    plan = PlanBuilder.urn(urn).select("price < 10").display(client.address)
-    print("Query plan:")
-    print(plan.explain())
+        # Wire the distributed catalog (base -> index -> meta-index) and give
+        # the client its out-of-band knowledge of the meta-index server.
+        cluster.connect()
 
-    mqp = client.issue_query(plan, QueryPreferences(), expected_answers=2)
-    network.run_until_idle()
+        # The query: an interest-area URN plus a price selection, as in
+        # Figure 3 — built fluently, compiled to a mutant query plan.
+        query = client.query().area(portland_cds).where("price < 10").expecting(2)
+        print("Query plan:")
+        print(query.compile().explain())
 
-    trace = network.metrics.trace(mqp.query_id)
-    result = client.result_for(mqp.query_id)
-    print("\nRoute taken:", " -> ".join(trace.visited))
-    print(f"Messages: {trace.messages}   bytes: {trace.bytes}   latency: {trace.latency_ms:.1f} simulated ms")
-    print("\nAnswer:")
-    for item in result.items:
-        print(f"  {item.child_text('title')}  ${item.child_text('price')}")
+        handle = query.submit()
+        result = handle.result(timeout=60_000)
+
+        trace = handle.trace()
+        print("\nRoute taken:", " -> ".join(trace.visited))
+        print(
+            f"Messages: {trace.messages}   bytes: {trace.bytes}   "
+            f"latency: {trace.latency_ms:.1f} simulated ms   transport: {transport}"
+        )
+        print("\nAnswer:")
+        for item in result.items:
+            print(f"  {item.child_text('title')}  ${item.child_text('price')}")
 
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1] if len(sys.argv) > 1 else "sim")

@@ -14,12 +14,13 @@ README = ROOT / "README.md"
 
 setup(
     name="repro-p2p-mqp",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of 'Distributed Query Processing and Catalogs for "
         "Peer-to-Peer Systems' (CIDR 2003): mutant query plans, "
         "multi-hierarchic namespaces, a thousand-peer simulation harness, "
-        "and a pluggable transport layer with a real asyncio TCP backend"
+        "a pluggable transport layer with a real asyncio TCP backend, and "
+        "a first-class client API (repro.api)"
     ),
     long_description=README.read_text(encoding="utf-8") if README.exists() else "",
     long_description_content_type="text/markdown",
@@ -27,6 +28,8 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # PEP 561: the package ships inline types (py.typed marker).
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     install_requires=[
         "numpy",

@@ -18,10 +18,17 @@ Everything runs on a deterministic discrete-event network simulator
 (:mod:`repro.network`); baselines (:mod:`repro.routing`,
 :mod:`repro.distributed`), synthetic workloads (:mod:`repro.workloads`) and
 an experiment harness (:mod:`repro.harness`) support the benchmark suite.
+
+**The supported way to use the system is** :mod:`repro.api` — clusters,
+per-peer sessions, fluent query building, and future-like result handles
+(see ``docs/api.md``).  The most-used names are re-exported here:
+
+    from repro import Cluster
 """
 
 from . import (
     algebra,
+    api,
     catalog,
     distributed,
     engine,
@@ -36,13 +43,24 @@ from . import (
     workloads,
     xmlmodel,
 )
-from .errors import ReproError
+from .api import Cluster, QueryBuilder, QueryHandle, Session
+from .errors import PeerOffline, QueryTimeout, ReproError
 
-__version__ = "1.1.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
+    # The public client API (the supported surface; see docs/api.md).
+    "api",
+    "Cluster",
+    "Session",
+    "QueryBuilder",
+    "QueryHandle",
+    # The error roots callers are expected to catch.
     "ReproError",
+    "QueryTimeout",
+    "PeerOffline",
+    # Subsystem packages, paper-layer first.
     "xmlmodel",
     "namespace",
     "algebra",

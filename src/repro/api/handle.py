@@ -1,0 +1,187 @@
+"""Future-like query results: wait on the logical clock, never poll.
+
+A :class:`QueryHandle` is created the moment a query is submitted through a
+:class:`~repro.api.session.Session`.  It registers a completion watcher with
+the issuing peer (:meth:`repro.peers.peer.QueryPeer.watch_results`), so the
+delivery callback that records the answer also resolves the handle — there
+is no polling loop and no wake-up event on the clock.  Waiting is expressed
+through the transport's ``stop`` hook: the network runs, event by event, in
+logical order (identically on the ``sim`` and ``aio`` backends), and the
+run halts at exactly the event that completed the handle.
+
+Timeouts are simulated milliseconds — the shared clock is the coordination
+authority on every backend, so the same deadline means the same thing
+whether messages travel by reference or over real sockets.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import PeerOffline, QueryTimeout
+from ..peers.peer import QueryPeer, QueryResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from ..network import Network, QueryTrace
+
+__all__ = ["QueryHandle"]
+
+
+class QueryHandle:
+    """The result of a submitted query, as a future.
+
+    ``result(timeout=...)`` drives the network until the complete answer
+    arrives (raising :class:`~repro.errors.QueryTimeout` or
+    :class:`~repro.errors.PeerOffline` instead of ever returning ``None``);
+    ``partial_results()`` and iteration expose the partial answers the
+    system degrades to when parts of the plan cannot be completed.
+    """
+
+    def __init__(
+        self,
+        peer: QueryPeer,
+        network: "Network",
+        query_id: str,
+        expected_answers: int | None = None,
+    ) -> None:
+        self._peer = peer
+        self._network = network
+        self.query_id = query_id
+        self.expected_answers = expected_answers
+        self._arrivals: list[QueryResult] = []
+        self._final: QueryResult | None = None
+        self._watching = False
+        self._ensure_watching()
+
+    # -- completion (called by the peer's delivery path) ------------------- #
+
+    def _on_result(self, result: QueryResult) -> None:
+        if self._arrivals and self._arrivals[-1] is result:
+            return  # replay of an arrival this handle already recorded
+        self._arrivals.append(result)
+        if not result.partial:
+            self._final = result
+            self._watching = False  # the peer released the watcher list
+
+    def _ensure_watching(self) -> None:
+        if not self._watching and self._final is None:
+            self._watching = True
+            self._peer.watch_results(self.query_id, self._on_result)
+
+    def close(self) -> None:
+        """Unregister this handle's completion watcher (idempotent).
+
+        Waiting again after ``close()`` re-registers transparently; the
+        terminal paths of :meth:`result` and iteration close automatically,
+        so long-running peers do not accumulate watchers for queries whose
+        answers can no longer arrive.
+        """
+        if self._watching:
+            self._peer.unwatch_results(self.query_id, self._on_result)
+            self._watching = False
+
+    # -- inspection (never advances the clock) ----------------------------- #
+
+    def done(self) -> bool:
+        """True once a complete (non-partial) result has been recorded."""
+        return self._final is not None
+
+    def partial_results(self) -> list[QueryResult]:
+        """Every partial answer recorded so far (non-blocking)."""
+        return [result for result in self._arrivals if result.partial]
+
+    def trace(self) -> "QueryTrace":
+        """The network's per-query trace (route, messages, latency)."""
+        return self._network.metrics.trace(self.query_id)
+
+    @property
+    def peer_address(self) -> str:
+        """Address of the peer this handle's answer is delivered to."""
+        return self._peer.address
+
+    # -- waiting (drives the shared clock) ---------------------------------- #
+
+    def result(self, timeout: float | None = None) -> QueryResult:
+        """Run the network until the answer arrives and return it.
+
+        ``timeout`` is a budget in *simulated* milliseconds from now.  The
+        clock runs, in logical event order, until one of:
+
+        * the complete result is recorded — returned;
+        * the network goes idle with only partial answers recorded — the
+          latest partial is returned (the system's documented degradation,
+          mirroring the ``STUCK``-plan delivery semantics);
+        * the issuing peer is found offline with the answer still pending —
+          :class:`~repro.errors.PeerOffline` (any in-flight result will be
+          dead-lettered at its sender, never silently lost);
+        * the deadline passes, or the network goes idle empty-handed —
+          :class:`~repro.errors.QueryTimeout`.
+        """
+        self._ensure_watching()
+        deadline = self._network.now + timeout if timeout is not None else None
+        self._network.run_until(self._has_final, until=deadline)
+        if self._final is not None:
+            return self._final
+        if not self._peer.online:
+            self.close()  # the answer can no longer be delivered here
+            raise PeerOffline(
+                f"peer {self._peer.address} went offline before the result of "
+                f"query {self.query_id!r} arrived; results addressed to it are "
+                "dead-lettered at their sender"
+            )
+        if self._idle():
+            self.close()  # nothing scheduled: no further arrival is possible
+            if self._arrivals:
+                return self._arrivals[-1]
+            raise QueryTimeout(
+                f"the network is idle and no result will ever arrive for query "
+                f"{self.query_id!r} (the plan died en route — e.g. at a peer "
+                "that dropped offline with failure notices disabled)"
+            )
+        partials = len(self.partial_results())
+        raise QueryTimeout(
+            f"no complete result for query {self.query_id!r} within "
+            f"{timeout:g} simulated ms"
+            + (f" ({partials} partial result(s) available)" if partials else "")
+        )
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        """Stream results as they arrive: partials first, the final one last.
+
+        Each step runs the network until the next recorded arrival.  The
+        stream ends after the complete result, or when the network goes
+        idle (nothing further can arrive).
+        """
+        self._ensure_watching()
+        yielded = 0
+        while True:
+            while yielded < len(self._arrivals):
+                result = self._arrivals[yielded]
+                yielded += 1
+                yield result
+                if not result.partial:
+                    return
+            if self._final is not None:
+                return
+            arrived = self._network.run_until(
+                lambda: len(self._arrivals) > yielded
+            )
+            if not arrived:
+                self.close()  # idle: the stream can never produce more
+                return
+
+    # -- internals ----------------------------------------------------------- #
+
+    def _has_final(self) -> bool:
+        return self._final is not None
+
+    def _idle(self) -> bool:
+        return self._network.simulator.peek() is None
+
+    def __repr__(self) -> str:
+        state = (
+            "done"
+            if self._final is not None
+            else f"pending({len(self._arrivals)} partial)"
+        )
+        return f"QueryHandle({self.query_id!r}, peer={self._peer.address!r}, {state})"

@@ -1,0 +1,147 @@
+"""Per-peer sessions: the client-facing handle on one peer of a cluster.
+
+A :class:`Session` wraps one :class:`~repro.peers.peer.QueryPeer` that is
+registered on a :class:`~repro.api.cluster.Cluster`'s network.  It is the
+supported way to *use* the system — publish data, wire catalog knowledge,
+and issue queries whose answers come back as future-like
+:class:`~repro.api.handle.QueryHandle` objects — regardless of which
+transport backend moves the bytes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..algebra import QueryPlan
+from ..catalog import CollectionRef, IntensionalStatement, ServerEntry
+from ..mqp import QueryPreferences
+from ..namespace import InterestArea
+from ..peers.peer import QueryPeer
+from ..xmlmodel import XMLElement
+from .handle import QueryHandle
+from .query import QueryBuilder
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from .cluster import Cluster
+
+__all__ = ["Session"]
+
+
+class Session:
+    """A handle on one peer: ``publish(...)``, ``register(...)``, ``query(...)``."""
+
+    def __init__(self, cluster: "Cluster", peer: QueryPeer) -> None:
+        self.cluster = cluster
+        self.peer = peer
+
+    @property
+    def address(self) -> str:
+        """The peer's network address."""
+        return self.peer.address
+
+    @property
+    def online(self) -> bool:
+        """Whether the peer currently accepts traffic."""
+        return self.peer.online
+
+    # -- publishing (base-server behaviour) --------------------------------- #
+
+    def publish(
+        self,
+        name: str,
+        items: Sequence[XMLElement],
+        area: InterestArea | None = None,
+        urn: str | None = None,
+    ) -> CollectionRef:
+        """Publish a named collection (optionally under an application URN)."""
+        reference = self.peer.publish_collection(name, items, area)
+        if urn is not None:
+            self.peer.publish_named_resource(urn, name)
+        return reference
+
+    def announce(self, statement: "IntensionalStatement | str") -> None:
+        """Adopt an intensional statement (§4.2) announced on registration."""
+        if isinstance(statement, str):
+            statement = IntensionalStatement.parse(statement)
+        self.peer.announce_statement(statement)
+
+    # -- catalog wiring ------------------------------------------------------- #
+
+    def register(self, *targets: "Session | QueryPeer | str") -> None:
+        """Push this peer's registration to index / meta-index servers."""
+        for target in targets:
+            self.peer.register_with(_address_of(target))
+
+    def learn_about(self, other: "Session | QueryPeer | ServerEntry") -> None:
+        """Record another server's entry locally (out-of-band discovery)."""
+        if isinstance(other, ServerEntry):
+            self.peer.learn_about(other)
+            return
+        peer = other.peer if isinstance(other, Session) else other
+        self.peer.learn_about(peer.server_entry())
+
+    # -- querying --------------------------------------------------------------- #
+
+    def query(self, plan: QueryPlan | None = None) -> QueryBuilder:
+        """Start a fluent query (or adopt a pre-built plan as the body)."""
+        return QueryBuilder(self, plan=plan)
+
+    def submit(
+        self,
+        plan: QueryPlan,
+        preferences: QueryPreferences | None = None,
+        expected_answers: int | None = None,
+        query_id: str | None = None,
+    ) -> QueryHandle:
+        """Submit a complete :class:`QueryPlan`; the raw-plan fast path."""
+        mqp = self.peer.submit_plan(
+            plan,
+            preferences,
+            expected_answers=expected_answers,
+            query_id=query_id,
+        )
+        return QueryHandle(
+            self.peer,
+            self.cluster.network,
+            mqp.query_id,
+            expected_answers=expected_answers,
+        )
+
+    def handle(self, query_id: str, expected_answers: int | None = None) -> QueryHandle:
+        """Attach a fresh handle to an already-issued query id.
+
+        A late-attached handle resolves from the *latest* recorded result
+        onward; arrivals recorded before attachment are not replayed (the
+        peer keeps one result per query, not the arrival history).  Hold on
+        to the handle returned at submit time when streamed partials
+        matter.
+        """
+        return QueryHandle(
+            self.peer, self.cluster.network, query_id, expected_answers=expected_answers
+        )
+
+    # -- lifecycle (churn as API calls) ------------------------------------------ #
+
+    def leave(self) -> None:
+        """Depart gracefully: drain work, unregister, go offline."""
+        self.peer.leave()
+
+    def crash(self) -> None:
+        """Drop off the network without notice (in-RAM state dies)."""
+        self.peer.go_offline()
+
+    def rejoin(self) -> None:
+        """Come back online and re-propagate the registration (§3.3)."""
+        self.peer.go_online()
+
+    def __repr__(self) -> str:
+        status = "online" if self.online else "offline"
+        return f"Session({self.address!r}, {status})"
+
+
+def _address_of(target: "Session | QueryPeer | str") -> str:
+    if isinstance(target, Session):
+        return target.address
+    if isinstance(target, QueryPeer):
+        return target.address
+    return target

@@ -68,6 +68,27 @@ class SimulationError(ReproError):
     """Raised for misuse of the discrete-event network simulator."""
 
 
+class APIError(ReproError):
+    """Raised for misuse of the public :mod:`repro.api` surface."""
+
+
+class QueryTimeout(APIError):
+    """Raised when a query produced no answer within its wait window.
+
+    Covers both an explicit deadline passing on the logical clock and the
+    network going idle with the answer provably never arriving.
+    """
+
+
+class PeerOffline(APIError):
+    """Raised when an operation requires a peer that is not online.
+
+    Issuing a query from an offline peer — or waiting on a result whose
+    target peer went offline mid-query — fails loudly with this error
+    instead of silently producing no result.
+    """
+
+
 class WorkloadError(ReproError):
     """Raised when a workload generator receives invalid parameters."""
 

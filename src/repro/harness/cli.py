@@ -4,6 +4,12 @@ Composes a scale-out scenario from command-line flags — topology × workload
 × churn profile × routing strategy — runs it on the deterministic
 simulator, prints a summary table, and writes the full JSON report.
 
+The CLI is a thin argument parser over :mod:`repro.harness.scaleout`, which
+itself builds and drives scenarios through the public client API
+(:mod:`repro.api`): one :class:`~repro.api.Cluster` per run, queries issued
+through :class:`~repro.api.Session` handles.  Reports are byte-identical
+across transport backends and across the API rebase.
+
 Examples
 --------
 Run the thousand-peer gene-expression scenario under moderate churn::

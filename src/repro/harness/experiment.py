@@ -13,7 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..algebra import PlanBuilder, QueryPlan
+from ..api import Cluster
 from ..distributed import CoordinatorClient, CoordinatorServer, SubordinateServer
+from ..errors import QueryTimeout
 from ..mqp import QueryPreferences
 from ..namespace import (
     CategoryPath,
@@ -23,15 +25,7 @@ from ..namespace import (
     MultiHierarchicNamespace,
 )
 from ..network import LatencyModel, Network, Topology, random_topology
-from ..peers import (
-    BaseServer,
-    ClientPeer,
-    IndexServer,
-    MetaIndexServer,
-    QueryPeer,
-    register_offline,
-    seed_with_meta_index,
-)
+from ..peers import BaseServer, ClientPeer, IndexServer, MetaIndexServer, QueryPeer
 from ..routing import GnutellaPeer, NapsterIndexServer, NapsterPeer, RoutingIndexPeer
 from ..workloads import CDWorkload, FORSALE_URN, GarageSaleWorkload, QuerySpec, TRACKLIST_URN
 from ..xmlmodel import XMLElement
@@ -99,8 +93,14 @@ def query_plan_for(
 
 @dataclass
 class MQPScenario:
-    """Handles of a built catalog-routed network."""
+    """Handles of a built catalog-routed network.
 
+    ``cluster`` owns the network/transport lifecycle and hands out the
+    :class:`~repro.api.Session` objects queries are issued through;
+    ``network`` stays as a direct alias for metric-reading code.
+    """
+
+    cluster: Cluster
     network: Network
     namespace: MultiHierarchicNamespace
     workload: GarageSaleWorkload
@@ -132,32 +132,27 @@ def build_mqp_scenario(
     and one client seeded with the meta-index server only.
     """
     namespace = workload.namespace
-    network = Network(latency=latency)
+    cluster = Cluster(namespace=namespace, latency=latency)
 
     base_servers = []
     for seller in workload.sellers:
-        server = BaseServer(seller.address, namespace, seller.area)
-        network.register(server)
-        server.publish_collection("items", seller.items)
-        base_servers.append(server)
+        session = cluster.base_server(seller.address, seller.area)
+        session.publish("items", seller.items)
+        base_servers.append(session.peer)
 
     states = sorted({tuple(seller.city.segments[:2]) for seller in workload.sellers})
     index_servers = []
     for state in states:
         area = InterestArea([InterestCell((CategoryPath(state), CategoryPath()))])
         address = f"index-{'-'.join(state).lower()}:9020"
-        index_server = IndexServer(address, namespace, area, authoritative=True)
-        network.register(index_server)
-        index_servers.append(index_server)
+        index_servers.append(cluster.index_server(address, area).peer)
 
-    meta_index = MetaIndexServer("meta-index:9020", namespace, authoritative=True)
-    network.register(meta_index)
-
-    client = ClientPeer("client:9020", namespace)
-    network.register(client)
+    meta_index = cluster.meta_index("meta-index:9020").peer
+    client = cluster.client("client:9020").peer
 
     scenario = MQPScenario(
-        network=network,
+        cluster=cluster,
+        network=cluster.network,
         namespace=namespace,
         workload=workload,
         client=client,
@@ -165,15 +160,7 @@ def build_mqp_scenario(
         index_servers=index_servers,
         meta_index=meta_index,
     )
-    peers = scenario.peers
-    if online_registration:
-        from ..peers import register_online
-
-        scenario.registrations = register_online(peers)
-        network.run_until_idle()
-    else:
-        scenario.registrations = register_offline(peers)
-    seed_with_meta_index([client], [meta_index])
+    scenario.registrations = cluster.connect(online=online_registration)
     return scenario
 
 
@@ -184,13 +171,14 @@ def run_mqp_queries(
     include_price: bool = False,
 ) -> dict[str, float]:
     """Issue a batch of queries from the scenario's client and summarize metrics."""
+    session = scenario.cluster.session(scenario.client.address)
     for query in queries:
         expected = scenario.workload.ground_truth_count(
             query.area, query.max_price if include_price else None
         )
-        plan = query_plan_for(query, scenario.client.address, include_price=include_price)
-        scenario.client.issue_query(plan, preferences or QueryPreferences(), expected_answers=expected)
-        scenario.network.run_until_idle()
+        plan = query_plan_for(query, session.address, include_price=include_price)
+        session.submit(plan, preferences or QueryPreferences(), expected_answers=expected)
+        scenario.cluster.run_until_idle()
     return scenario.network.metrics.summary()
 
 
@@ -412,55 +400,51 @@ def run_cd_query_mqp(
     Returns the network metric summary and the CD titles found.
     """
     namespace = cd_workload.namespace
-    network = Network(latency=latency)
+    cluster = Cluster(namespace=namespace, latency=latency)
     area = cd_workload.portland_cd_area()
 
-    seller_peers = []
+    sellers = []
     for seller in cd_workload.sellers:
-        peer = BaseServer(seller.address, namespace, area)
-        network.register(peer)
-        peer.publish_collection("cds", seller.items)
-        peer.publish_named_resource(FORSALE_URN, "cds")
-        seller_peers.append(peer)
+        session = cluster.base_server(seller.address, area)
+        session.publish("cds", seller.items, urn=FORSALE_URN)
+        sellers.append(session)
 
-    tracklist_area = namespace.top_area()
-    tracklist_peer = BaseServer("tracklist:9020", namespace, tracklist_area)
-    network.register(tracklist_peer)
-    tracklist_peer.publish_collection("tracklistings", cd_workload.track_listings)
-    tracklist_peer.publish_named_resource(TRACKLIST_URN, "tracklistings")
+    tracklist = cluster.base_server("tracklist:9020", namespace.top_area())
+    tracklist.publish("tracklistings", cd_workload.track_listings, urn=TRACKLIST_URN)
 
-    index_server = IndexServer("index-portland:9020", namespace, area, authoritative=True)
-    network.register(index_server)
-    client = ClientPeer("client:9020", namespace)
-    network.register(client)
+    index_server = cluster.index_server("index-portland:9020", area)
+    client = cluster.client("client:9020")
 
-    register_offline([*seller_peers, tracklist_peer, index_server, client])
-    seed_with_meta_index([client], [index_server])
-    # The client knows the track-listing service out of band (like CDDB).
-    client.learn_about(tracklist_peer.server_entry())
-    client.catalog.register_named_resource(
-        tracklist_peer.catalog.named_resources[TRACKLIST_URN]
-    )
-    index_server.catalog.register_named_resource(
-        tracklist_peer.catalog.named_resources[TRACKLIST_URN]
-    )
-    for peer in seller_peers:
-        peer.catalog.register_named_resource(
-            tracklist_peer.catalog.named_resources[TRACKLIST_URN]
-        )
+    # No meta-index in this scenario: the client bootstraps off the Portland
+    # index server, and knows the track-listing service out of band (CDDB).
+    cluster.connect(seed_clients=False)
+    client.learn_about(index_server)
+    client.learn_about(tracklist)
+    tracklist_entry = tracklist.peer.catalog.named_resources[TRACKLIST_URN]
+    for session in (client, index_server, *sellers):
+        session.peer.catalog.register_named_resource(tracklist_entry)
 
-    plan = cd_workload.figure3_plan(client.address)
     expected = cd_workload.expected_matches()
-    mqp = client.issue_query(plan, QueryPreferences(), expected_answers=len(expected))
-    network.run_until_idle()
-    result = client.result_for(mqp.query_id)
+    handle = client.submit(
+        cd_workload.figure3_plan(client.address),
+        QueryPreferences(),
+        expected_answers=len(expected),
+    )
+    cluster.run_until_idle()
     found: set[str] = set()
+    try:
+        # On the idle network this returns the complete answer or, when the
+        # plan degraded (e.g. hop budget exhausted at scale), the latest
+        # partial — the same answers the pre-API harness counted.
+        result = handle.result()
+    except QueryTimeout:
+        result = None  # nothing was ever delivered
     if result is not None:
         for item in result.items:
             for title_node in item.iter_tag("title"):
                 if title_node.text:
                     found.add(title_node.text)
-    return network.metrics.summary(), found & expected if expected else found
+    return cluster.metrics.summary(), found & expected if expected else found
 
 
 def run_cd_query_coordinator(

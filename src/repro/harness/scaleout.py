@@ -11,6 +11,11 @@ and reduces the outcome to a JSON-ready report.
 
 A scenario is fully described by a :class:`ScaleoutSpec`; the CLI
 (:mod:`repro.harness.cli`) is a thin argument parser over this module.
+Scenario construction and query issuance go through the public client API
+(:mod:`repro.api`): a :class:`~repro.api.Cluster` owns the network,
+transport, topology wiring and churn schedule, and MQP queries are issued
+through per-peer :class:`~repro.api.Session` handles — the harness is a
+consumer of the same surface external callers use.
 """
 
 from __future__ import annotations
@@ -19,8 +24,8 @@ from dataclasses import asdict, dataclass, field
 from typing import Callable
 
 from ..algebra import PlanBuilder, QueryPlan
+from ..api import Cluster
 from ..errors import SimulationError
-from ..mqp import QueryPreferences
 from ..namespace import (
     CategoryPath,
     InterestArea,
@@ -31,24 +36,14 @@ from ..namespace import (
 from ..network import (
     CHURN_PROFILES,
     ChurnPlan,
-    FailureInjector,
     LatencyModel,
     Network,
     TOPOLOGY_KINDS,
     Topology,
     Transport,
     build_topology,
-    build_transport,
 )
-from ..peers import (
-    BaseServer,
-    ClientPeer,
-    IndexServer,
-    MetaIndexServer,
-    QueryPeer,
-    register_offline,
-    seed_with_meta_index,
-)
+from ..peers import QueryPeer
 from ..routing import GnutellaPeer, NapsterIndexServer, NapsterPeer, RoutingIndexPeer
 from ..workloads import (
     GarageSaleConfig,
@@ -140,9 +135,14 @@ class _Query:
 
 @dataclass
 class ScaleoutScenario:
-    """A built (but not yet run) scale-out scenario."""
+    """A built (but not yet run) scale-out scenario.
+
+    ``cluster`` owns the network/transport lifecycle; ``network`` is kept
+    as a direct alias for reporting code.
+    """
 
     spec: ScaleoutSpec
+    cluster: Cluster
     network: Network
     namespace: MultiHierarchicNamespace
     topology: Topology
@@ -277,55 +277,44 @@ def _index_areas(namespace: MultiHierarchicNamespace, data_peers: list[_DataPeer
 
 
 def _build_mqp_network(spec: ScaleoutSpec, scenario: ScaleoutScenario) -> None:
-    network = scenario.network
-    namespace = scenario.namespace
+    cluster = scenario.cluster
 
-    base_servers: list[BaseServer] = []
     for data_peer in scenario.data_peers:
-        server = BaseServer(data_peer.address, namespace, data_peer.area)
-        network.register(server)
-        server.publish_collection("items", data_peer.items)
-        base_servers.append(server)
+        session = cluster.base_server(data_peer.address, data_peer.area)
+        session.publish("items", data_peer.items)
 
-    for position, area in enumerate(_index_areas(namespace, scenario.data_peers)):
-        index_server = IndexServer(f"index-{position:02d}:9020", namespace, area, authoritative=True)
-        network.register(index_server)
-        scenario.index_servers.append(index_server)
+    for position, area in enumerate(_index_areas(scenario.namespace, scenario.data_peers)):
+        scenario.index_servers.append(
+            cluster.index_server(f"index-{position:02d}:9020", area).peer
+        )
 
-    meta_index = MetaIndexServer("meta-index:9020", namespace, authoritative=True)
-    network.register(meta_index)
-    scenario.meta_index = meta_index
+    scenario.meta_index = cluster.meta_index("meta-index:9020").peer
+    client = cluster.client("client:9020")
+    scenario.client = client.peer
 
-    client = ClientPeer("client:9020", namespace)
-    network.register(client)
-    scenario.client = client
-
-    peers: list[QueryPeer] = [*base_servers, *scenario.index_servers, meta_index, client]
-    scenario.registrations = register_offline(peers)
-    seed_with_meta_index([client], [meta_index])
+    # Catalog registration (covering-indexer policy) + client bootstrap.
+    scenario.registrations = cluster.connect()
 
     # The overlay shapes out-of-band discovery among *serving* peers:
     # neighbours know each other's catalog entries, so mid-route binding
     # and candidate choice reflect the topology.  The client stays seeded
     # with the meta-index only — binding a namespace-wide area against a
     # handful of random neighbours would masquerade as a complete answer.
-    by_address = {peer.address: peer for peer in peers}
-    for first, second in sorted(scenario.topology.graph.edges):
-        if client.address in (first, second):
-            continue
-        if first in by_address and second in by_address:
-            by_address[first].learn_about(by_address[second].server_entry())
-            by_address[second].learn_about(by_address[first].server_entry())
+    cluster.wire_topology(scenario.topology, exclude=(client.address,))
 
-    for peer in peers:
-        peer.processor.max_hops = spec.max_hops
-        if spec.batch:
-            peer.enable_batching(spec.batch_window_ms)
+    cluster.configure_peers(
+        max_hops=spec.max_hops,
+        batch_window_ms=spec.batch_window_ms if spec.batch else None,
+    )
 
 
 def _build_overlay_network(spec: ScaleoutSpec, scenario: ScaleoutScenario) -> None:
-    """Gnutella or routing-index: data peers plus a client on the overlay."""
-    network = scenario.network
+    """Gnutella or routing-index: data peers plus a client on the overlay.
+
+    Baseline peers speak their own protocols, not the paper's catalog/MQP
+    one, so they join the cluster as plain nodes (no sessions).
+    """
+    cluster = scenario.cluster
     namespace = scenario.namespace
     peers = []
     for data_peer in scenario.data_peers:
@@ -333,7 +322,7 @@ def _build_overlay_network(spec: ScaleoutSpec, scenario: ScaleoutScenario) -> No
             peer = GnutellaPeer(data_peer.address, scenario.topology)
         else:
             peer = RoutingIndexPeer(data_peer.address, namespace, scenario.topology)
-        network.register(peer)
+        cluster.add(peer)
         for item in data_peer.items:
             peer.add_items(_cell_for_item(namespace, spec.workload, item), [item])
         peers.append(peer)
@@ -341,29 +330,29 @@ def _build_overlay_network(spec: ScaleoutSpec, scenario: ScaleoutScenario) -> No
         client = GnutellaPeer("client:9020", scenario.topology)
     else:
         client = RoutingIndexPeer("client:9020", namespace, scenario.topology)
-    network.register(client)
+    cluster.add(client)
     scenario.client = client
     if spec.routing == "routing-index":
         for peer in [*peers, client]:
             peer.advertise()
-        network.run_until_idle()
+        cluster.run_until_idle()
 
 
 def _build_napster_network(spec: ScaleoutSpec, scenario: ScaleoutScenario) -> None:
-    network = scenario.network
+    cluster = scenario.cluster
     namespace = scenario.namespace
     index = NapsterIndexServer("central-index:9020")
-    network.register(index)
+    cluster.add(index)
     scenario.napster_index = index
     for data_peer in scenario.data_peers:
         peer = NapsterPeer(data_peer.address, index.address)
-        network.register(peer)
+        cluster.add(peer)
         for item in data_peer.items:
             peer.publish(_cell_for_item(namespace, spec.workload, item), [item])
     client = NapsterPeer("client:9020", index.address)
-    network.register(client)
+    cluster.add(client)
     scenario.client = client
-    network.run_until_idle()  # flush publish traffic before measuring queries
+    cluster.run_until_idle()  # flush publish traffic before measuring queries
 
 
 def _cell_for_item(
@@ -395,10 +384,6 @@ def build_scaleout_scenario(
     the report's scenario block cannot mention the transport.
     """
     spec.validate()
-    if transport is None:
-        transport = build_transport("sim")
-    elif isinstance(transport, str):
-        transport = build_transport(transport)
     namespace, data_peers, queries = _POPULATIONS[spec.workload](spec)
 
     addresses = [peer.address for peer in data_peers] + ["client:9020"]
@@ -406,14 +391,17 @@ def build_scaleout_scenario(
 
     # Failure detection (and therefore plan rerouting) is an MQP capability;
     # the baselines experience churn as silent message loss.
-    network = Network(
+    cluster = Cluster(
+        transport if transport is not None else "sim",
+        namespace=namespace,
         latency=LatencyModel(seed=spec.seed),
         notify_unreachable=(spec.routing == "mqp"),
-        transport=transport,
+        topology=topology,
     )
     scenario = ScaleoutScenario(
         spec=spec,
-        network=network,
+        cluster=cluster,
+        network=cluster.network,
         namespace=namespace,
         topology=topology,
         data_peers=data_peers,
@@ -429,25 +417,27 @@ def build_scaleout_scenario(
 
     profile = CHURN_PROFILES[spec.churn]
     if profile.churn_fraction > 0.0:
-        injector = FailureInjector(network)
         churned = [peer.address for peer in data_peers]
-        scenario.churn_plan = injector.schedule_churn(
+        scenario.churn_plan = cluster.schedule_churn(
             churned, profile, window_ms=spec.churn_window_ms, seed=spec.seed + 2
         )
     return scenario
 
 
 def _issue_mqp_query(scenario: ScaleoutScenario, query: _Query, label: str) -> str:
-    client: ClientPeer = scenario.client  # type: ignore[assignment]
-    plan = query.plan_for(client.address)
-    preferences = QueryPreferences(prefer=scenario.spec.prefer)
+    session = scenario.cluster.session(scenario.client.address)  # type: ignore[union-attr]
+    plan = query.plan_for(session.address)
     # Explicit id: the default ids come from a process-global counter, and
     # their width leaks into serialized plan sizes (and thus transfer
     # times), breaking run-to-run determinism within one process.
-    mqp = client.issue_query(
-        plan, preferences, expected_answers=query.expected, query_id=label
+    handle = (
+        session.query(plan)
+        .prefer(scenario.spec.prefer)
+        .expecting(query.expected)
+        .labelled(label)
+        .submit()
     )
-    return mqp.query_id
+    return handle.query_id
 
 
 def _issue_baseline_query(scenario: ScaleoutScenario, query: _Query, label: str) -> str:
@@ -479,19 +469,16 @@ def run_scaleout(
     wall-clock cost but not the report).
     """
     scenario = build_scaleout_scenario(spec, transport=transport)
-    network = scenario.network
-    try:
+    with scenario.cluster as cluster:
         query_ids = schedule_queries(scenario)
-        network.run_until_idle()
+        cluster.run_until_idle()
 
         for query_id in query_ids:
-            trace = network.metrics.trace(query_id)
+            trace = cluster.metrics.trace(query_id)
             if trace.completed_at is None:
-                trace.completed_at = network.now
+                trace.completed_at = cluster.now
 
         return _report(scenario, query_ids)
-    finally:
-        network.close()
 
 
 def schedule_queries(scenario: ScaleoutScenario) -> list[str]:

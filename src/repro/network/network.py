@@ -168,9 +168,25 @@ class Network:
 
     # -- convenience ------------------------------------------------------------- #
 
-    def run(self, until: float | None = None) -> None:
-        """Run the scenario (until idle, or until the given simulated time)."""
-        self.transport.run(until=until)
+    def run(
+        self,
+        until: float | None = None,
+        stop: Callable[[], bool] | None = None,
+    ) -> None:
+        """Run the scenario (until idle, the given simulated time, or ``stop``)."""
+        self.transport.run(until=until, stop=stop)
+
+    def run_until(self, stop: Callable[[], bool], until: float | None = None) -> bool:
+        """Run until ``stop`` reports true; return whether it did.
+
+        The condition is checked after every executed logical event, so a
+        delivery callback that flips a flag halts the run at exactly that
+        event — on every transport backend, with no polling events on the
+        clock.  Returns ``False`` when the network went idle (or ``until``
+        passed) with the condition still unsatisfied.
+        """
+        self.transport.run(until=until, stop=stop)
+        return stop()
 
     def run_until_idle(self) -> None:
         """Run until no scheduled work remains."""

@@ -170,12 +170,24 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: float | None = None, max_events: int = 1_000_000) -> None:
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int = 1_000_000,
+        stop: Callable[[], bool] | None = None,
+    ) -> None:
         """Run events until the queue drains, ``until`` is reached, or the cap hits.
 
         ``max_events`` guards against accidental event storms in buggy
-        protocols; hitting it raises :class:`SimulationError`.
+        protocols; hitting it raises :class:`SimulationError`.  ``stop`` is
+        checked after every executed event (and once up front): the loop
+        returns as soon as it reports true, leaving the clock at the event
+        that satisfied it.  This is how future-like result handles wait for
+        completion without polling — the condition is a flag flipped by a
+        delivery callback, not a rescheduled check.
         """
+        if stop is not None and stop():
+            return
         executed = 0
         while self._queue:
             next_event = self._queue[0]
@@ -190,6 +202,8 @@ class Simulator:
             if not self.step():
                 return
             executed += 1
+            if stop is not None and stop():
+                return
             if executed >= max_events:
                 raise SimulationError(f"simulation exceeded {max_events} events")
         if until is not None and until > self._now:

@@ -33,7 +33,7 @@ import contextlib
 import functools
 import itertools
 from collections import deque
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from ...errors import SimulationError
 from .base import Transport, TransportError
@@ -192,11 +192,16 @@ class AsyncioTransport(Transport):
         link.queue.append(encode_frame(message))
         self._kick(link)
 
-    def run(self, until: float | None = None, max_events: int = 1_000_000) -> None:
+    def run(
+        self,
+        until: float | None = None,
+        stop: Callable[[], bool] | None = None,
+        max_events: int = 1_000_000,
+    ) -> None:
         if self._closed:
             raise TransportError("cannot run a closed transport")
         loop = self._ensure_loop()
-        loop.run_until_complete(self._drive(until, max_events))
+        loop.run_until_complete(self._drive(until, max_events, stop))
 
     def peer_offline(self, address: str, graceful: bool = False) -> None:
         """Recycle the departing peer's connections once their queues drain.
@@ -258,9 +263,16 @@ class AsyncioTransport(Transport):
     # The drive loop: logical order, gated on physical arrival
     # ------------------------------------------------------------------ #
 
-    async def _drive(self, until: float | None, max_events: int) -> None:
+    async def _drive(
+        self,
+        until: float | None,
+        max_events: int,
+        stop: Callable[[], bool] | None = None,
+    ) -> None:
         await self._ensure_started()
         simulator = self.simulator
+        if stop is not None and stop():
+            return
         executed = 0
         while True:
             event = simulator.peek()
@@ -278,6 +290,8 @@ class AsyncioTransport(Transport):
             if not simulator.step():
                 break
             executed += 1
+            if stop is not None and stop():
+                return
             if executed >= max_events:
                 raise SimulationError(f"simulation exceeded {max_events} events")
         if until is not None:

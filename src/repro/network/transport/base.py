@@ -26,7 +26,7 @@ for the full model and how to add a backend.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from ...errors import SimulationError
 from ..simulator import Simulator
@@ -94,8 +94,19 @@ class Transport(ABC):
     # -- execution ------------------------------------------------------- #
 
     @abstractmethod
-    def run(self, until: float | None = None) -> None:
-        """Run scheduled work until idle or until the given simulated time."""
+    def run(
+        self,
+        until: float | None = None,
+        stop: Callable[[], bool] | None = None,
+    ) -> None:
+        """Run scheduled work until idle or until the given simulated time.
+
+        ``stop`` is an optional condition checked after every executed
+        logical event; the run returns as soon as it reports true.  It is
+        the lifecycle hook :class:`repro.api.QueryHandle` uses to wait for
+        a result event-driven on the shared clock, identically on every
+        backend.
+        """
 
     def run_until_idle(self) -> None:
         """Run until no logical events remain."""

@@ -9,7 +9,7 @@ every pre-existing scenario report stays byte-identical (asserted by
 from __future__ import annotations
 
 import functools
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from ..simulator import Simulator
 from .base import Transport
@@ -36,8 +36,12 @@ class SimTransport(Transport):
             delay, functools.partial(self._network._deliver, message)
         )
 
-    def run(self, until: float | None = None) -> None:
-        self.simulator.run(until=until)
+    def run(
+        self,
+        until: float | None = None,
+        stop: Callable[[], bool] | None = None,
+    ) -> None:
+        self.simulator.run(until=until, stop=stop)
 
     def run_until_idle(self) -> None:
         self.simulator.run_until_idle()

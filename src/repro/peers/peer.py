@@ -23,8 +23,9 @@ Message kinds understood:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..algebra import QueryPlan
 from ..catalog import (
@@ -36,7 +37,7 @@ from ..catalog import (
     ServerEntry,
     ServerRole,
 )
-from ..errors import PeerError
+from ..errors import PeerError, PeerOffline
 from ..mqp import (
     MQPProcessor,
     MutantQueryPlan,
@@ -107,6 +108,7 @@ class QueryPeer(NetworkNode):
             cache=self.cache,
         )
         self.results: dict[str, QueryResult] = {}
+        self._result_watchers: dict[str, list[Callable[[QueryResult], None]]] = {}
         self.statements: list[IntensionalStatement] = []
         self.plans_processed = 0
         self.plans_forwarded = 0
@@ -256,15 +258,25 @@ class QueryPeer(NetworkNode):
     # Client behaviour: issuing queries and receiving results
     # ------------------------------------------------------------------ #
 
-    def issue_query(
+    def submit_plan(
         self,
         plan: QueryPlan,
         preferences: QueryPreferences | None = None,
         expected_answers: int | None = None,
         query_id: str | None = None,
     ) -> MutantQueryPlan:
-        """Create an MQP for ``plan`` and start processing it at this peer."""
+        """Create an MQP for ``plan`` and start processing it at this peer.
+
+        This is the supported issue path (:class:`repro.api.Session` wraps
+        it).  An offline peer cannot originate queries — it could neither
+        forward the plan nor receive the answer — so issuing from one fails
+        loudly instead of silently producing no result.
+        """
         self._require_network()
+        if not self.online:
+            raise PeerOffline(
+                f"{self.address} is offline and cannot issue queries"
+            )
         mqp = MutantQueryPlan(
             plan=plan.copy(),
             preferences=preferences or QueryPreferences(),
@@ -278,9 +290,83 @@ class QueryPeer(NetworkNode):
         self._process_and_act(mqp)
         return mqp
 
+    def issue_query(
+        self,
+        plan: QueryPlan,
+        preferences: QueryPreferences | None = None,
+        expected_answers: int | None = None,
+        query_id: str | None = None,
+    ) -> MutantQueryPlan:
+        """Deprecated alias of :meth:`submit_plan`.
+
+        New code should go through :class:`repro.api.Session` (or call
+        :meth:`submit_plan` directly when working at the peer layer).
+        """
+        warnings.warn(
+            "QueryPeer.issue_query is deprecated; use repro.api.Session.query() "
+            "(or QueryPeer.submit_plan at the peer layer)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.submit_plan(
+            plan, preferences, expected_answers=expected_answers, query_id=query_id
+        )
+
     def result_for(self, query_id: str) -> QueryResult | None:
-        """Return the result received for a query, if any."""
+        """Deprecated: return the recorded result for a query, if any.
+
+        New code should hold on to the :class:`repro.api.QueryHandle`
+        returned at issue time and call ``handle.result(...)``, which waits
+        event-driven and raises instead of returning ``None``.
+        """
+        warnings.warn(
+            "QueryPeer.result_for is deprecated; use the repro.api.QueryHandle "
+            "returned by Session.query()/Session.submit()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.results.get(query_id)
+
+    # -- result watching (how repro.api.QueryHandle completes) ---------------- #
+
+    def watch_results(self, query_id: str, callback: Callable[[QueryResult], None]) -> None:
+        """Invoke ``callback`` for every result recorded under ``query_id``.
+
+        If a result is already recorded (delivery beat the watcher), the
+        callback fires immediately — registration can never miss the
+        completion it is waiting for.  Watchers of an already-final query
+        are not retained (a final result is terminal), and a query's
+        watcher list is dropped the moment its final result is recorded.
+        Watchers of a query that never records a final result (the plan
+        died en route, or only partials arrived) stay registered until
+        :meth:`unwatch_results` — :class:`repro.api.QueryHandle` calls it
+        from its terminal paths (``close()``), so long-running peers do
+        not accumulate entries for dead queries.
+        """
+        existing = self.results.get(query_id)
+        if existing is not None and not existing.partial:
+            callback(existing)  # terminal: replay without registering
+            return
+        self._result_watchers.setdefault(query_id, []).append(callback)
+        if existing is not None:
+            callback(existing)
+
+    def unwatch_results(
+        self, query_id: str, callback: Callable[[QueryResult], None] | None = None
+    ) -> None:
+        """Drop watchers for ``query_id`` — all of them, or one callback."""
+        if callback is None:
+            self._result_watchers.pop(query_id, None)
+            return
+        watchers = self._result_watchers.get(query_id)
+        if watchers is None:
+            return
+        try:
+            watchers.remove(callback)
+        except ValueError:
+            pass
+        if not watchers:
+            self._result_watchers.pop(query_id, None)
 
     # ------------------------------------------------------------------ #
     # Message handling
@@ -429,6 +515,13 @@ class QueryPeer(NetworkNode):
         trace = self.network.metrics.trace(query_id)  # type: ignore[union-attr]
         trace.completed_at = self.now
         trace.answers = result.count
+        if result.partial:
+            watchers = list(self._result_watchers.get(query_id, ()))
+        else:
+            # A final result is terminal: notify and release the watchers.
+            watchers = self._result_watchers.pop(query_id, [])
+        for watcher in watchers:  # handle completion
+            watcher(result)
 
     # -- registration handling --------------------------------------------------- #
 

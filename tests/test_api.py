@@ -1,0 +1,460 @@
+"""The public client API: clusters, sessions, fluent queries, result futures.
+
+Covers the contract ``docs/api.md`` documents:
+
+* builder → plan compilation is equivalent to hand-built ``PlanBuilder``
+  plans (identical wire XML);
+* :class:`repro.api.QueryHandle` resolves event-driven on both transport
+  backends, with timeout / partial / streaming semantics and loud
+  ``QueryTimeout`` / ``PeerOffline`` errors instead of ``None``;
+* the deprecation shims (``QueryPeer.issue_query`` / ``result_for``) still
+  work while warning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import PlanBuilder
+from repro.algebra.serialization import serialize_plan
+from repro.api import (
+    APIError,
+    Cluster,
+    PeerOffline,
+    QueryBuilder,
+    QueryHandle,
+    QueryPreferences,
+    QueryTimeout,
+    Session,
+)
+from repro.namespace import InterestAreaURN, garage_sale_namespace
+from repro.peers import BaseServer
+from tests.conftest import make_item
+
+TRANSPORTS = ("sim", "aio")
+
+
+def small_cluster(transport: str = "sim", notify_unreachable: bool = True) -> Cluster:
+    """Two Portland CD sellers, an Oregon index, a meta-index, and a client."""
+    namespace = garage_sale_namespace()
+    cluster = Cluster(
+        transport, namespace=namespace, notify_unreachable=notify_unreachable
+    )
+    portland_cds = namespace.area(["USA/OR/Portland", "Music/CDs"])
+    seller1 = cluster.base_server("seller1:9020", portland_cds)
+    seller1.publish("cds", [make_item("Abbey Road", 8), make_item("Kind of Blue", 12)])
+    seller2 = cluster.base_server("seller2:9020", portland_cds)
+    seller2.publish("cds", [make_item("Blue Train", 6)])
+    cluster.index_server("index-or:9020", namespace.area(["USA/OR", "*"]))
+    cluster.meta_index("meta:9020")
+    cluster.client("client:9020")
+    cluster.connect()
+    return cluster
+
+
+def portland_area(cluster: Cluster):
+    return cluster.namespace.area(["USA/OR/Portland", "Music/CDs"])
+
+
+class TestQueryBuilderCompilation:
+    """The fluent builder compiles to exactly the hand-built plan trees."""
+
+    @pytest.fixture()
+    def session(self, namespace):
+        cluster = Cluster(namespace=namespace)
+        session = cluster.base_server(
+            "peer:9020", namespace.area(["USA/OR/Portland", "Music/CDs"])
+        )
+        yield session
+        cluster.close()
+
+    def test_urn_select_matches_plan_builder(self, session):
+        fluent = session.query().urn("urn:ForSale:X").where("price < 10").compile()
+        manual = PlanBuilder.urn("urn:ForSale:X").select("price < 10").display("peer:9020")
+        assert serialize_plan(fluent) == serialize_plan(manual)
+
+    def test_area_compiles_to_interest_area_urn(self, session, namespace):
+        area = namespace.area(["USA/OR/Portland", "Music/CDs"])
+        fluent = session.query().area(area).compile()
+        manual = PlanBuilder.urn(str(InterestAreaURN.for_area(area))).display("peer:9020")
+        assert serialize_plan(fluent) == serialize_plan(manual)
+
+    def test_area_accepts_coordinate_paths(self, session, namespace):
+        by_paths = session.query().area(["USA/OR/Portland", "Music/CDs"]).compile()
+        by_area = session.query().area(namespace.area(["USA/OR/Portland", "Music/CDs"])).compile()
+        assert serialize_plan(by_paths) == serialize_plan(by_area)
+
+    def test_join_union_project_pipeline(self, session):
+        fluent = (
+            session.query()
+            .url("a:9020", "/cds")
+            .union(session.query().url("b:9020", "/cds"))
+            .select("price < 10")
+            .join(session.query().urn("urn:CD:TrackListings"), on=("//title", "//CD/title"))
+            .project([("//title", "title")])
+            .order_by("//title")
+            .top_n(3, "//title")
+            .compile()
+        )
+        manual = (
+            PlanBuilder.url("a:9020", "/cds")
+            .union(PlanBuilder.url("b:9020", "/cds"))
+            .select("price < 10")
+            .join(PlanBuilder.urn("urn:CD:TrackListings"), on=("//title", "//CD/title"))
+            .project([("//title", "title")])
+            .order_by("//title")
+            .top_n(3, "//title")
+            .display("peer:9020")
+        )
+        assert serialize_plan(fluent) == serialize_plan(manual)
+
+    def test_data_and_aggregate(self, session):
+        items = [make_item("A", 5), make_item("B", 7)]
+        fluent = session.query().data(items, name="stock").count().compile()
+        manual = PlanBuilder.data(items, name="stock").count().display("peer:9020")
+        assert serialize_plan(fluent) == serialize_plan(manual)
+
+    def test_to_overrides_delivery_target(self, session):
+        plan = session.query().urn("urn:X:y").to("elsewhere:9020").compile()
+        assert plan.target == "elsewhere:9020"
+
+    def test_raw_plan_escape_hatch(self, session):
+        manual = PlanBuilder.urn("urn:X:y").select("price < 5").display("peer:9020")
+        adopted = session.query(manual).compile()
+        assert adopted is manual
+        adopted_via_method = session.query().plan(manual).compile()
+        assert adopted_via_method is manual
+
+    def test_raw_plan_cannot_be_silently_retargeted(self, session):
+        manual = PlanBuilder.urn("urn:X:y").display("peer:9020")
+        with pytest.raises(APIError, match="retarget"):
+            session.query(manual).to("elsewhere:9020").compile()
+        # A .to() matching the plan's own target is not a conflict.
+        assert session.query(manual).to("peer:9020").compile() is manual
+
+    def test_builder_grammar_errors(self, session):
+        with pytest.raises(APIError):
+            session.query().compile()  # no source
+        with pytest.raises(APIError):
+            session.query().where("price < 1")  # operator before a source
+        with pytest.raises(APIError):
+            session.query().urn("urn:X:y").urn("urn:X:z")  # two sources
+        manual = PlanBuilder.urn("urn:X:y").display("peer:9020")
+        with pytest.raises(APIError):
+            session.query(manual).where("price < 1")  # raw plan is structural-final
+        with pytest.raises(APIError):
+            session.query().urn("urn:X:y").plan(manual)  # fluent body already started
+
+    def test_preferences_compilation(self, session):
+        builder = session.query().urn("urn:X:y").prefer("current").within(250.0)
+        preferences = builder.build_preferences()
+        assert preferences.prefer == "current"
+        assert preferences.target_time_ms == 250.0
+        explicit = QueryPreferences(prefer="fast")
+        assert (
+            session.query().urn("urn:X:y").preferences(explicit).build_preferences()
+            is explicit
+        )
+
+
+class TestClusterLifecycle:
+    def test_context_manager_closes_transport(self, namespace):
+        with Cluster(namespace=namespace) as cluster:
+            cluster.client("client:9020")
+        # close is idempotent; a second close must not raise
+        cluster.close()
+
+    def test_session_lookup_and_join_order(self, namespace):
+        with Cluster(namespace=namespace) as cluster:
+            first = cluster.client("a:9020")
+            second = cluster.client("b:9020")
+            assert cluster.session("a:9020") is first
+            assert cluster.sessions() == [first, second]
+            with pytest.raises(APIError):
+                cluster.session("missing:9020")
+
+    def test_join_wraps_existing_peer(self, namespace):
+        with Cluster(namespace=namespace) as cluster:
+            peer = BaseServer("s:9020", namespace, namespace.top_area())
+            session = cluster.join(peer)
+            assert isinstance(session, Session)
+            assert session.peer is peer
+
+    def test_namespace_required_for_convenience_constructors(self):
+        with Cluster() as cluster:
+            with pytest.raises(APIError):
+                cluster.client("c:9020")
+
+    def test_connect_counts_registrations_and_seeds_clients(self, namespace):
+        with Cluster(namespace=namespace) as cluster:
+            seller = cluster.base_server(
+                "s:9020", namespace.area(["USA/OR/Portland", "Music/CDs"])
+            )
+            seller.publish("cds", [make_item("A", 5)])
+            cluster.index_server("i:9020", namespace.area(["USA/OR", "*"]))
+            meta = cluster.meta_index("m:9020")
+            client = cluster.client("c:9020")
+            count = cluster.connect()
+            assert count >= 2
+            # The pure client was seeded with the meta-index entry.
+            assert meta.address in client.peer.catalog.known_addresses()
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+class TestQueryHandleOnBothTransports:
+    def test_result_waits_event_driven(self, transport):
+        with small_cluster(transport) as cluster:
+            client = cluster.session("client:9020")
+            handle = (
+                client.query()
+                .area(portland_area(cluster))
+                .where("price < 10")
+                .expecting(2)
+                .submit()
+            )
+            assert not handle.done()
+            result = handle.result(timeout=60_000)
+            assert handle.done()
+            assert not result.partial
+            assert {item.child_text("title") for item in result.items} == {
+                "Abbey Road",
+                "Blue Train",
+            }
+            # The wait stopped at the completion event, not at idle: the
+            # result is available the moment it is recorded.
+            assert handle.trace().completed_at is not None
+
+    def test_result_after_idle_returns_immediately(self, transport):
+        with small_cluster(transport) as cluster:
+            client = cluster.session("client:9020")
+            handle = (
+                client.query()
+                .area(portland_area(cluster))
+                .where("price < 10")
+                .expecting(2)
+                .submit()
+            )
+            cluster.run_until_idle()
+            assert handle.done()
+            assert handle.result().count == 2
+
+    def test_timeout_raises_query_timeout(self, transport):
+        with small_cluster(transport) as cluster:
+            client = cluster.session("client:9020")
+            handle = (
+                client.query()
+                .area(portland_area(cluster))
+                .where("price < 10")
+                .submit()
+            )
+            # Far too small a budget: the plan needs several network hops.
+            with pytest.raises(QueryTimeout, match="simulated ms"):
+                handle.result(timeout=0.5)
+            # The clock advanced only to the deadline, then a longer wait succeeds.
+            assert handle.result(timeout=60_000).count == 2
+
+    def test_idle_with_no_result_raises_query_timeout(self, transport):
+        with small_cluster(transport, notify_unreachable=False) as cluster:
+            # Both sellers die with failure notices disabled: the plan is
+            # silently dropped at delivery, so nothing will ever arrive.
+            cluster.session("seller1:9020").crash()
+            cluster.session("seller2:9020").crash()
+            client = cluster.session("client:9020")
+            handle = (
+                client.query()
+                .area(portland_area(cluster))
+                .where("price < 10")
+                .submit()
+            )
+            with pytest.raises(QueryTimeout, match="idle"):
+                handle.result()
+
+    def test_partial_result_on_crashed_seller(self, transport):
+        with small_cluster(transport) as cluster:
+            cluster.session("seller2:9020").crash()
+            client = cluster.session("client:9020")
+            handle = (
+                client.query()
+                .area(portland_area(cluster))
+                .where("price < 10")
+                .expecting(2)
+                .submit()
+            )
+            # The plan reroutes around the dead seller and degrades: the
+            # network idles with a partial answer, which result() returns
+            # (flagged) rather than discarding.
+            result = handle.result(timeout=120_000)
+            assert result.partial
+            assert {item.child_text("title") for item in result.items} == {"Abbey Road"}
+            assert handle.partial_results() == [result]
+            assert not handle.done()  # no *complete* result ever arrived
+
+    def test_streaming_iteration(self, transport):
+        with small_cluster(transport) as cluster:
+            client = cluster.session("client:9020")
+            handle = (
+                client.query()
+                .area(portland_area(cluster))
+                .where("price < 10")
+                .expecting(2)
+                .submit()
+            )
+            seen = list(handle)
+            assert seen  # at least the final result streams out
+            assert not seen[-1].partial
+            assert all(result.partial for result in seen[:-1])
+
+    def test_streaming_ends_on_idle_partial(self, transport):
+        with small_cluster(transport) as cluster:
+            cluster.session("seller2:9020").crash()
+            client = cluster.session("client:9020")
+            handle = (
+                client.query()
+                .area(portland_area(cluster))
+                .where("price < 10")
+                .submit()
+            )
+            seen = list(handle)
+            assert seen and seen[-1].partial  # stream closed by idleness
+
+    def test_offline_peer_cannot_issue(self, transport):
+        with small_cluster(transport) as cluster:
+            client = cluster.session("client:9020")
+            client.crash()
+            with pytest.raises(PeerOffline):
+                client.query().area(portland_area(cluster)).submit()
+
+    def test_watchers_released_on_terminal_outcomes(self, transport):
+        with small_cluster(transport) as cluster:
+            client = cluster.session("client:9020")
+            peer = client.peer
+            # Final result: the peer releases the query's watcher list.
+            done = (
+                client.query()
+                .area(portland_area(cluster))
+                .where("price < 10")
+                .submit()
+            )
+            assert peer._result_watchers
+            done.result(timeout=60_000)
+            assert not peer._result_watchers
+            # Partial-only (idle) outcome: the handle unregisters itself.
+            cluster.session("seller2:9020").crash()
+            degraded = (
+                client.query()
+                .area(portland_area(cluster))
+                .where("price < 10")
+                .submit()
+            )
+            result = degraded.result(timeout=120_000)
+            assert result.partial
+            assert not peer._result_watchers
+            # Waiting again re-registers transparently and still answers.
+            assert degraded.result(timeout=120_000).partial
+
+    def test_peer_offline_mid_query_raises(self, transport):
+        with small_cluster(transport) as cluster:
+            client = cluster.session("client:9020")
+            handle = (
+                client.query()
+                .area(portland_area(cluster))
+                .where("price < 10")
+                .submit()
+            )
+            client.crash()  # goes offline before the answer can return
+            with pytest.raises(PeerOffline):
+                handle.result(timeout=120_000)
+
+
+class TestDeprecationShims:
+    def test_issue_query_still_works_but_warns(self, namespace):
+        with small_cluster() as cluster:
+            peer = cluster.session("client:9020").peer
+            area = portland_area(cluster)
+            plan = (
+                PlanBuilder.urn(str(InterestAreaURN.for_area(area)))
+                .select("price < 10")
+                .display(peer.address)
+            )
+            with pytest.warns(DeprecationWarning, match="issue_query is deprecated"):
+                mqp = peer.issue_query(plan, QueryPreferences(), expected_answers=2)
+            cluster.run_until_idle()
+            with pytest.warns(DeprecationWarning, match="result_for is deprecated"):
+                result = peer.result_for(mqp.query_id)
+            assert result is not None and result.count == 2
+
+    def test_shim_equivalent_to_session_submit(self, namespace):
+        # Same scenario issued both ways answers identically.
+        with small_cluster() as first:
+            client = first.session("client:9020")
+            handle = (
+                client.query()
+                .area(portland_area(first))
+                .where("price < 10")
+                .labelled("shim-equiv")
+                .submit()
+            )
+            new_titles = {
+                item.child_text("title") for item in handle.result(timeout=60_000).items
+            }
+        with small_cluster() as second:
+            peer = second.session("client:9020").peer
+            area = portland_area(second)
+            plan = (
+                PlanBuilder.urn(str(InterestAreaURN.for_area(area)))
+                .select("price < 10")
+                .display(peer.address)
+            )
+            with pytest.warns(DeprecationWarning):
+                mqp = peer.issue_query(plan, QueryPreferences(), query_id="shim-equiv")
+            second.run_until_idle()
+            old_titles = {
+                item.child_text("title") for item in peer.results[mqp.query_id].items
+            }
+        assert new_titles == old_titles
+
+
+class TestSessionSurface:
+    def test_publish_with_urn_registers_named_resource(self, namespace):
+        with Cluster(namespace=namespace) as cluster:
+            seller = cluster.base_server(
+                "s:9020", namespace.area(["USA/OR/Portland", "Music/CDs"])
+            )
+            seller.publish("cds", [make_item("A", 5)], urn="urn:ForSale:Portland-CDs")
+            assert seller.peer.catalog.lookup_named("urn:ForSale:Portland-CDs") is not None
+
+    def test_announce_parses_textual_statement(self, namespace):
+        with Cluster(namespace=namespace) as cluster:
+            seller = cluster.base_server(
+                "s:9020", namespace.area(["USA/OR/Portland", "Music/CDs"])
+            )
+            seller.announce(
+                "base[(USA.OR.Portland,Music.CDs)]@s:9020 >= "
+                "base[(USA.OR.Portland,Music.CDs)]@other:9020{15}"
+            )
+            assert seller.peer.statements
+
+    def test_handle_reattaches_to_query_id(self, namespace):
+        with small_cluster() as cluster:
+            client = cluster.session("client:9020")
+            submitted = (
+                client.query()
+                .area(portland_area(cluster))
+                .where("price < 10")
+                .labelled("reattach")
+                .submit()
+            )
+            cluster.run_until_idle()
+            # A second handle for the same id resolves from the recorded result.
+            late = client.handle("reattach")
+            assert late.done()
+            assert late.result().count == submitted.result().count
+
+    def test_query_builder_repr_and_session_repr(self, namespace):
+        with Cluster(namespace=namespace) as cluster:
+            session = cluster.client("c:9020")
+            assert "c:9020" in repr(session)
+            assert isinstance(session.query(), QueryBuilder)
+            assert isinstance(
+                session.handle("nothing-yet"), QueryHandle
+            )

@@ -85,9 +85,9 @@ class TestCrashMidForward:
         # The client's preferred first hop for an unbindable URN is the most
         # specific covering indexer; kill it so the forward fails.
         index.go_offline()
-        mqp = client.issue_query(_portland_query(client, namespace), QueryPreferences())
+        mqp = client.submit_plan(_portland_query(client, namespace), QueryPreferences())
         network.run_until_idle()
-        result = client.result_for(mqp.query_id)
+        result = mqp and client.results.get(mqp.query_id)
         assert result is not None, "plan was silently dropped"
         # The reroute found the meta-index (or the base directly) and the
         # plan still reached the data.
@@ -99,9 +99,9 @@ class TestCrashMidForward:
         network, base, index, meta, client = churn_network
         for node in (base, index, meta):
             node.go_offline()
-        mqp = client.issue_query(_portland_query(client, namespace), QueryPreferences())
+        mqp = client.submit_plan(_portland_query(client, namespace), QueryPreferences())
         network.run_until_idle()
-        result = client.result_for(mqp.query_id)
+        result = mqp and client.results.get(mqp.query_id)
         assert result is not None, "plan was silently dropped"
         assert result.partial
         assert result.count == 0
@@ -109,7 +109,7 @@ class TestCrashMidForward:
     def test_dead_peer_tracked_and_forgotten_on_recovery(self, churn_network, namespace):
         network, base, index, meta, client = churn_network
         index.go_offline()
-        client.issue_query(_portland_query(client, namespace), QueryPreferences())
+        client.submit_plan(_portland_query(client, namespace), QueryPreferences())
         network.run_until_idle()
         assert index.address in client.suspected_dead
         # Any later message from the peer clears the suspicion.
@@ -128,7 +128,7 @@ class TestRejoinRepropagation:
         base.go_offline()
         # A query routed through the index toward the dead base triggers
         # failure detection at the index.
-        client.issue_query(_portland_query(client, namespace), QueryPreferences())
+        client.submit_plan(_portland_query(client, namespace), QueryPreferences())
         network.run_until_idle()
         assert base.address not in index.catalog.servers
 
@@ -142,15 +142,15 @@ class TestRejoinRepropagation:
     def test_queries_recover_full_answers_after_rejoin(self, churn_network, namespace):
         network, base, index, meta, client = churn_network
         base.go_offline()
-        first = client.issue_query(_portland_query(client, namespace), QueryPreferences())
+        first = client.submit_plan(_portland_query(client, namespace), QueryPreferences())
         network.run_until_idle()
-        assert client.result_for(first.query_id).count == 0
+        assert client.results[first.query_id].count == 0
 
         base.go_online()
         network.run_until_idle()
-        second = client.issue_query(_portland_query(client, namespace), QueryPreferences())
+        second = client.submit_plan(_portland_query(client, namespace), QueryPreferences())
         network.run_until_idle()
-        result = client.result_for(second.query_id)
+        result = client.results.get(second.query_id)
         assert result is not None
         assert result.count == 2
 
@@ -173,7 +173,7 @@ class TestRoutingCacheInvalidation:
         area = namespace.area(["USA/OR/Portland", "Music"])
         assert any(entry.server == index.address for entry in client.cache.lookup(area))
         index.go_offline()
-        client.issue_query(_portland_query(client, namespace), QueryPreferences())
+        client.submit_plan(_portland_query(client, namespace), QueryPreferences())
         network.run_until_idle()
         assert not any(entry.server == index.address for entry in client.cache.lookup(area))
         assert index.address not in client.catalog.servers
@@ -311,12 +311,12 @@ class TestDeliveryPathNotices:
 
     def test_crash_mid_delivery_emits_notice_and_reroutes(self, churn_network, namespace):
         network, base, index, meta, client = churn_network
-        mqp = client.issue_query(_portland_query(client, namespace), QueryPreferences())
+        mqp = client.submit_plan(_portland_query(client, namespace), QueryPreferences())
         # The client's forward to the index is now in flight; crash the
         # index before the modelled delivery delay elapses.
         network.schedule(0.5, index.go_offline)
         network.run_until_idle()
-        result = client.result_for(mqp.query_id)
+        result = mqp and client.results.get(mqp.query_id)
         assert result is not None, "in-flight plan was silently dropped"
         assert result.count == 2, "reroute around the mid-delivery crash failed"
         assert index.address in client.suspected_dead
@@ -351,6 +351,44 @@ class TestDeliveryPathNotices:
         network.schedule(0.5, index.go_offline)
         network.run_until_idle()
         assert any(m.kind == "register-ack" for m in base.dead_letters)
+
+    def test_result_to_offline_client_is_dead_lettered(self, churn_network, namespace):
+        """Regression: a result whose target went offline mid-query must be
+        dead-lettered at its sender, never silently lost.
+
+        The client issues a query and crashes before the answer can return;
+        the deliverer's failure detection hands the undeliverable result
+        back, and it lands in the sender's dead letters with the query id
+        intact (so an operator can attribute the loss).
+        """
+        network, base, index, meta, client = churn_network
+        mqp = client.submit_plan(_portland_query(client, namespace), QueryPreferences())
+        client.go_offline()  # offline before the result can be delivered
+        network.run_until_idle()
+        assert mqp.query_id not in client.results
+        dead_results = [
+            message
+            for peer in (base, index, meta)
+            for message in peer.dead_letters
+            if message.kind in ("result", "partial-result")
+        ]
+        assert dead_results, "the undeliverable result was silently lost"
+        assert any(
+            message.payload["query_id"] == mqp.query_id for message in dead_results
+        )
+
+    def test_handle_raises_peer_offline_for_crashed_client(self, churn_network, namespace):
+        """The API-level view of the same failure: the QueryHandle raises
+        PeerOffline instead of blocking or returning None."""
+        from repro.api import QueryHandle
+        from repro.errors import PeerOffline
+
+        network, base, index, meta, client = churn_network
+        mqp = client.submit_plan(_portland_query(client, namespace), QueryPreferences())
+        handle = QueryHandle(client, network, mqp.query_id)
+        client.go_offline()
+        with pytest.raises(PeerOffline):
+            handle.result(timeout=60_000)
 
 
 class TestScaleoutChurnEndToEnd:

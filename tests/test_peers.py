@@ -4,6 +4,7 @@ import pytest
 
 from repro.algebra import PlanBuilder
 from repro.catalog import IntensionalStatement, ServerRole
+from repro.errors import PeerOffline
 from repro.mqp import QueryPreferences
 from repro.namespace import InterestAreaURN
 from repro.network import Network
@@ -119,9 +120,9 @@ class TestEndToEndQuery:
         network, namespace, client = self._prepare(small_network)
         area = namespace.area(["USA/OR/Portland", "Music/CDs"])
         plan = PlanBuilder.urn(str(InterestAreaURN.for_area(area))).select("price < 10").display(client.address)
-        mqp = client.issue_query(plan, QueryPreferences(), expected_answers=2)
+        mqp = client.submit_plan(plan, QueryPreferences(), expected_answers=2)
         network.run_until_idle()
-        result = client.result_for(mqp.query_id)
+        result = client.results.get(mqp.query_id)
         assert result is not None and not result.partial
         assert {item.child_text("title") for item in result.items} == {"Abbey Road", "Blue Train"}
         trace = network.metrics.trace(mqp.query_id)
@@ -134,9 +135,9 @@ class TestEndToEndQuery:
         network, namespace, client = self._prepare(small_network)
         area = namespace.area(["USA/WA/Seattle", "Music/CDs"])
         plan = PlanBuilder.urn(str(InterestAreaURN.for_area(area))).display(client.address)
-        mqp = client.issue_query(plan, QueryPreferences(), expected_answers=0)
+        mqp = client.submit_plan(plan, QueryPreferences(), expected_answers=0)
         network.run_until_idle()
-        result = client.result_for(mqp.query_id)
+        result = client.results.get(mqp.query_id)
         assert result is not None
         assert result.count == 0
         trace = network.metrics.trace(mqp.query_id)
@@ -150,7 +151,7 @@ class TestEndToEndQuery:
         seller2.go_offline()
         area = namespace.area(["USA/OR/Portland", "Music/CDs"])
         plan = PlanBuilder.urn(str(InterestAreaURN.for_area(area))).select("price < 10").display(client.address)
-        mqp = client.issue_query(plan, QueryPreferences(), expected_answers=2)
+        mqp = client.submit_plan(plan, QueryPreferences(), expected_answers=2)
         network.run_until_idle()
         # The plan dies at the offline seller; the system keeps working and
         # the client simply never hears back for this query (no crash).
@@ -162,8 +163,28 @@ class TestEndToEndQuery:
         network, namespace, client = self._prepare(small_network)
         area = namespace.area(["USA/OR/Portland", "Music/CDs"])
         plan = PlanBuilder.urn(str(InterestAreaURN.for_area(area))).display(client.address)
-        mqp = client.issue_query(plan, QueryPreferences(), expected_answers=3)
+        mqp = client.submit_plan(plan, QueryPreferences(), expected_answers=3)
         network.run_until_idle()
-        result = client.result_for(mqp.query_id)
+        result = client.results.get(mqp.query_id)
         assert result is not None
         assert result.provenance_hops >= 2
+
+    def test_offline_peer_cannot_issue_query(self, small_network):
+        """Regression: issuing from an offline peer fails loudly (PeerOffline).
+
+        The seed silently accepted the query and produced no result — the
+        plan left through ``send`` and died, with nothing telling the
+        caller why.
+        """
+        network, namespace, client = self._prepare(small_network)
+        area = namespace.area(["USA/OR/Portland", "Music/CDs"])
+        plan = PlanBuilder.urn(str(InterestAreaURN.for_area(area))).display(client.address)
+        client.go_offline()
+        with pytest.raises(PeerOffline):
+            client.submit_plan(plan, QueryPreferences())
+        # The deprecated shim goes through the same check.
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(PeerOffline):
+                client.issue_query(plan, QueryPreferences())
+        client.go_online()
+        assert client.submit_plan(plan, QueryPreferences()) is not None
