@@ -44,9 +44,9 @@ from . import (
     xmlmodel,
 )
 from .api import Cluster, QueryBuilder, QueryHandle, Session
-from .errors import PeerOffline, QueryTimeout, ReproError
+from .errors import PeerOffline, QueryCancelled, QueryTimeout, ReproError
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -60,6 +60,7 @@ __all__ = [
     "ReproError",
     "QueryTimeout",
     "PeerOffline",
+    "QueryCancelled",
     # Subsystem packages, paper-layer first.
     "xmlmodel",
     "namespace",

@@ -27,16 +27,19 @@ Four classes carry the model:
   :class:`~repro.algebra.plan.QueryPlan` trees the MQP machinery consumes
   (with a raw-plan escape hatch);
 * :class:`QueryHandle` — a future-like result: ``result(timeout=...)``,
-  ``partial_results()``, ``done()``, and iteration over streamed partials,
-  raising :class:`~repro.errors.QueryTimeout` / :class:`~repro.errors.PeerOffline`
-  instead of ever returning ``None``.
+  ``partial_results()``, ``done()``, iteration over streamed partials,
+  per-item streaming via ``items()`` (chunk-by-chunk when
+  ``repro.perf.flags.streaming_results`` is on), and ``cancel()`` —
+  raising :class:`~repro.errors.QueryTimeout` /
+  :class:`~repro.errors.PeerOffline` /
+  :class:`~repro.errors.QueryCancelled` instead of ever returning ``None``.
 
 Everything here is transport-agnostic: the same program produces the same
 logical outcome whether messages travel by reference on the deterministic
 simulator or over real localhost TCP sockets.  See ``docs/api.md``.
 """
 
-from ..errors import APIError, PeerOffline, QueryTimeout
+from ..errors import APIError, PeerOffline, QueryCancelled, QueryTimeout
 from ..mqp import QueryPreferences
 from ..peers import QueryResult
 from .cluster import Cluster
@@ -54,4 +57,5 @@ __all__ = [
     "APIError",
     "QueryTimeout",
     "PeerOffline",
+    "QueryCancelled",
 ]

@@ -18,8 +18,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
-from ..errors import PeerOffline, QueryTimeout
+from ..errors import PeerOffline, QueryCancelled, QueryTimeout
 from ..peers.peer import QueryPeer, QueryResult
+from ..xmlmodel import XMLElement
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from ..network import Network, QueryTrace
@@ -51,6 +52,7 @@ class QueryHandle:
         self._arrivals: list[QueryResult] = []
         self._final: QueryResult | None = None
         self._watching = False
+        self._cancelled = False
         self._ensure_watching()
 
     # -- completion (called by the peer's delivery path) ------------------- #
@@ -64,6 +66,8 @@ class QueryHandle:
             self._watching = False  # the peer released the watcher list
 
     def _ensure_watching(self) -> None:
+        if self._cancelled:
+            return
         if not self._watching and self._final is None:
             self._watching = True
             self._peer.watch_results(self.query_id, self._on_result)
@@ -80,7 +84,33 @@ class QueryHandle:
             self._peer.unwatch_results(self.query_id, self._on_result)
             self._watching = False
 
+    def cancel(self) -> None:
+        """Cancel the query (idempotent).
+
+        The issuing peer marks the query dead — open chunked-result streams
+        are torn down at their producers, buffered chunks are dropped, and
+        a cancel notice propagates along the plan's forwarding chain so
+        in-flight copies are discarded instead of processed.  Waiting on a
+        cancelled handle raises :class:`~repro.errors.QueryCancelled`.
+
+        Cancelling a handle whose complete result is already recorded is a
+        no-op (standard future semantics): the answer stays retrievable and
+        no cancel traffic is spent on a finished query.
+        """
+        if self._cancelled:
+            return
+        recorded = self._peer.results.get(self.query_id)
+        if self._final is not None or (recorded is not None and not recorded.partial):
+            return
+        self._cancelled = True
+        self.close()
+        self._peer.cancel_query(self.query_id)
+
     # -- inspection (never advances the clock) ----------------------------- #
+
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called on this handle."""
+        return self._cancelled
 
     def done(self) -> bool:
         """True once a complete (non-partial) result has been recorded."""
@@ -117,6 +147,8 @@ class QueryHandle:
         * the deadline passes, or the network goes idle empty-handed —
           :class:`~repro.errors.QueryTimeout`.
         """
+        if self._cancelled:
+            raise QueryCancelled(f"query {self.query_id!r} was cancelled")
         self._ensure_watching()
         deadline = self._network.now + timeout if timeout is not None else None
         self._network.run_until(self._has_final, until=deadline)
@@ -150,8 +182,12 @@ class QueryHandle:
 
         Each step runs the network until the next recorded arrival.  The
         stream ends after the complete result, or when the network goes
-        idle (nothing further can arrive).
+        idle (nothing further can arrive).  Like :meth:`result` and
+        :meth:`items`, iterating a cancelled handle raises
+        :class:`~repro.errors.QueryCancelled`.
         """
+        if self._cancelled:
+            raise QueryCancelled(f"query {self.query_id!r} was cancelled")
         self._ensure_watching()
         yielded = 0
         while True:
@@ -161,14 +197,108 @@ class QueryHandle:
                 yield result
                 if not result.partial:
                     return
-            if self._final is not None:
+            if self._cancelled or self._final is not None:
                 return
             arrived = self._network.run_until(
                 lambda: len(self._arrivals) > yielded
             )
+            if self._cancelled:
+                return
             if not arrived:
                 self.close()  # idle: the stream can never produce more
                 return
+
+    def items(self, timeout: float | None = None) -> Iterator[XMLElement]:
+        """Stream individual result items as they arrive.
+
+        With chunked delivery on (``flags.streaming_results``), items are
+        yielded as each ``result-chunk`` frame lands at the issuing peer —
+        the first item is available long before the complete answer has
+        crossed the network.  With chunking off, all items arrive together
+        with the result frame and are yielded then.
+
+        The stream ends after the final result's items; when the network
+        goes idle with only a partial answer, whatever items arrived are
+        yielded and the stream ends (the documented degradation, matching
+        :meth:`result`).  A delivery that supersedes an earlier one (a
+        partial answer from a stuck branch, then the complete answer)
+        resumes positionally: items already yielded are not repeated, the
+        same way single-frame mode resumes from the final result.
+        ``timeout`` bounds the wait in simulated milliseconds; cancelling
+        the handle mid-iteration stops the stream.
+        """
+        if self._cancelled:
+            raise QueryCancelled(f"query {self.query_id!r} was cancelled")
+        self._ensure_watching()
+        deadline = self._network.now + timeout if timeout is not None else None
+        arrived: list[XMLElement] = self._peer.chunk_items(self.query_id)
+        current_stream: str | None = None
+
+        def on_chunk(chunk: list[XMLElement], stream: str) -> None:
+            nonlocal current_stream
+            if current_stream is None:
+                # First chunk this iterator observes: adopt its delivery.
+                # The peer's arrival buffer mirrors that delivery's full
+                # in-order items (this chunk included).
+                current_stream = stream
+                arrived[:] = self._peer.chunk_items(self.query_id)
+            elif stream == current_stream:
+                arrived.extend(chunk)
+            # Chunks of any other delivery are ignored: chunk-driven yields
+            # follow one delivery's sequence.  A result landing from a
+            # different delivery reconciles positionally at a terminal
+            # boundary (final or idle), the same as single-frame mode.
+
+        self._peer.watch_chunks(self.query_id, on_chunk)
+        yielded = 0
+        try:
+            while True:
+                while yielded < len(arrived):
+                    item = arrived[yielded]
+                    yielded += 1
+                    yield item
+                    if self._cancelled:
+                        return
+                if self._final is not None:
+                    # Single-frame mode (or a final delivery that carried
+                    # items this iterator has not seen as chunks).
+                    for item in self._final.items[yielded:]:
+                        yield item
+                    return
+                progressed = self._network.run_until(
+                    lambda: len(arrived) > yielded or self._final is not None,
+                    until=deadline,
+                )
+                if self._cancelled:
+                    return
+                if progressed:
+                    continue
+                if not self._peer.online:
+                    self.close()  # fail loudly, matching result()
+                    raise PeerOffline(
+                        f"peer {self._peer.address} went offline while "
+                        f"streaming items of query {self.query_id!r}; results "
+                        "addressed to it are dead-lettered at their sender"
+                    )
+                if self._idle():
+                    self.close()
+                    if self._arrivals:
+                        # Degraded outcome: drain the latest partial answer
+                        # positionally, like the final-result reconciliation.
+                        for item in self._arrivals[-1].items[yielded:]:
+                            yield item
+                        return
+                    raise QueryTimeout(
+                        f"the network is idle and no result will ever arrive "
+                        f"for query {self.query_id!r} ({yielded} item(s) "
+                        "streamed before the plan died en route)"
+                    )
+                raise QueryTimeout(
+                    f"no further items for query {self.query_id!r} within "
+                    f"{timeout:g} simulated ms ({yielded} item(s) streamed)"
+                )
+        finally:
+            self._peer.unwatch_chunks(self.query_id, on_chunk)
 
     # -- internals ----------------------------------------------------------- #
 

@@ -174,7 +174,7 @@ class CoordinatorServer(NetworkNode):
             items = pending.partials.get(leaf_id, [])
             pending.plan.substitute_result(node, items)
         engine = QueryEngine()
-        items = engine.evaluate(pending.plan)
+        items = engine.materialize(pending.plan)
         document = serialize_xml(
             XMLElement("result", {"query-id": pending.query_id}, [item.copy() for item in items])
         )

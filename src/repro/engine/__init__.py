@@ -3,11 +3,13 @@
 from .cost import CostEstimate, CostModel, DEFAULT_JOIN_SELECTIVITY, DEFAULT_SELECT_SELECTIVITY
 from .evaluate import LeafResolver, QueryEngine
 from .memo import EvaluationMemo
+from .operators import BufferBudget
 from .statistics import CollectionStatistics, ColumnStatistics, collect_statistics
 
 __all__ = [
     "QueryEngine",
     "LeafResolver",
+    "BufferBudget",
     "EvaluationMemo",
     "CostModel",
     "CostEstimate",

@@ -40,6 +40,17 @@ class EvaluationError(ReproError):
     """Raised when the local query engine cannot evaluate a plan."""
 
 
+class ResourceBudgetExceeded(EvaluationError):
+    """Raised when a pipeline-breaking operator overruns its memory budget.
+
+    The streaming engine bounds the number of items a blocking operator
+    (Join, OrderBy, TopN, Aggregate, Difference) may buffer at once.  When
+    the bound would be exceeded the engine fails with this error instead of
+    growing without limit — callers choose between raising the budget,
+    rewriting the plan, or falling back to a partial answer.
+    """
+
+
 class CatalogError(ReproError):
     """Raised for invalid catalog registrations or lookups."""
 
@@ -86,6 +97,16 @@ class PeerOffline(APIError):
     Issuing a query from an offline peer — or waiting on a result whose
     target peer went offline mid-query — fails loudly with this error
     instead of silently producing no result.
+    """
+
+
+class QueryCancelled(APIError):
+    """Raised when a result is requested for a query that was cancelled.
+
+    ``QueryHandle.cancel()`` tears down the handle's watchers, marks the
+    query dead at the issuing peer, and propagates a cancel notice along
+    the plan's forwarding chain; any later ``result()`` call fails with
+    this error instead of waiting for an answer that will be discarded.
     """
 
 

@@ -22,13 +22,14 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Collection, Sequence
 
-from ..algebra.operators import LeafNode, PlanNode, URLRef, VerbatimData
+from ..algebra.operators import Display, LeafNode, PlanNode, Union, URLRef, VerbatimData
 from ..catalog import Binder, Catalog, RoutingCache, ServerRole, canonical_address
 from ..engine import EvaluationMemo, QueryEngine
 from ..engine.statistics import collect_statistics
 from ..errors import RoutingError, URNError
 from ..namespace import InterestAreaURN, MultiHierarchicNamespace, NamedURN, parse_urn
 from ..optimizer import Optimizer
+from ..perf import flags
 from ..xmlmodel import XMLElement
 from .plan import MutantQueryPlan
 from .policy import PolicyManager
@@ -93,6 +94,7 @@ class MQPProcessor:
         policy: PolicyManager | None = None,
         annotate_statistics: bool = True,
         max_hops: int = 32,
+        max_buffered_items: int | None = None,
     ) -> None:
         self.address = address
         self._canonical_address = canonical_address(address)
@@ -104,6 +106,7 @@ class MQPProcessor:
         self.policy = policy or PolicyManager()
         self.annotate_statistics = annotate_statistics
         self.max_hops = max_hops
+        self.max_buffered_items = max_buffered_items
         self.binder = Binder(catalog)
         self.processed_plans = 0
         self.batches_processed = 0
@@ -397,7 +400,10 @@ class MQPProcessor:
         mqp.plan = outcome.plan
 
         decision = self.policy.choose_subplans(outcome)
-        engine = QueryEngine(resolver=self._resolve_local_leaf)
+        engine = QueryEngine(
+            resolver=self._resolve_local_leaf,
+            max_buffered_items=self.max_buffered_items,
+        )
         evaluated = 0
         for subplan in decision.evaluate:
             items, annotations = self._evaluate_subplan(engine, subplan, context)
@@ -415,7 +421,52 @@ class MQPProcessor:
                 detail=f"{subplan.operator}->{len(items)} items",
             )
             evaluated += 1
+        if flags.eager_area_plans and self._is_bare_union_plan(mqp):
+            evaluated += self._pin_local_leaves(mqp, now)
         return evaluated
+
+    @staticmethod
+    def _is_bare_union_plan(mqp: MutantQueryPlan) -> bool:
+        """True for the predicate-less shape: only unions over leaves.
+
+        Selective plans (any operator other than Union/Display above the
+        leaves) reduce through ``evaluable_subplans`` and ship only their
+        — typically much smaller — evaluated results; pinning whole local
+        collections into them would balloon the wire form for nothing.
+        """
+        return all(
+            isinstance(node, (Display, Union, LeafNode))
+            for node in mqp.plan.iter_nodes()
+        )
+
+    def _pin_local_leaves(self, mqp: MutantQueryPlan, now: float) -> int:
+        """Substitute locally held bare URL leaves with their verbatim data.
+
+        Fixes the predicate-less area plan (a bare union of URLs): no
+        operator sits above the leaves, so ``evaluable_subplans`` — which
+        only reports reducible *operators* — never selects anything, and
+        the plan bounces between data holders until ``max_hops``.  Pinning
+        each locally available leaf as verbatim XML at the first server
+        that holds it lets the union complete at the last holder visited.
+        Gated behind ``flags.eager_area_plans`` (default off) because the
+        extra EVALUATED provenance records change the seed wire bytes, and
+        applied only to the bare-union shape (:meth:`_is_bare_union_plan`).
+        """
+        pinned = 0
+        for ref in list(mqp.plan.url_refs()):
+            if not self._is_local_url(ref):
+                continue
+            items = self._resolve_local_leaf(ref)
+            assert items is not None  # _is_local_url just said so
+            mqp.plan.substitute_result(ref, items)
+            mqp.provenance.add(
+                self.address,
+                ProvenanceAction.EVALUATED,
+                now,
+                detail=f"{ref.operator}->{len(items)} items",
+            )
+            pinned += 1
+        return pinned
 
     def _evaluate_subplan(
         self, engine: QueryEngine, subplan: PlanNode, context: BatchContext | None
@@ -428,14 +479,14 @@ class MQPProcessor:
         once per distinct shape.
         """
         if context is None:
-            items = engine.evaluate(subplan)
+            items = engine.materialize(subplan)
             if not self.annotate_statistics:
                 return items, None
             return items, collect_statistics(items).to_annotations()
         key = context.memo.key_for(subplan)
         items = context.memo.lookup(key)
         if items is None:
-            items = engine.evaluate(subplan)
+            items = engine.materialize(subplan)
             context.memo.store(key, items)
         annotations = None
         if self.annotate_statistics:

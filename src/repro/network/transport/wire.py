@@ -6,7 +6,12 @@ carrying the message envelope plus the payload in its own encoding:
 * ``str`` payloads — the common case: a mutant query plan travels as its
   serialized XML document — ship as raw UTF-8 bytes, so what crosses the
   socket for an MQP is exactly the paper's wire form;
-* everything else (registration payloads, result envelopes) ships pickled.
+* result envelopes (``result`` / ``partial-result`` / ``result-chunk`` —
+  dicts carrying a ``document`` string) ship as pickled metadata plus the
+  document as raw UTF-8, so result traffic — including each individually
+  framed chunk of a streamed result — also crosses the socket in the
+  paper's XML wire form;
+* everything else (registration payloads, control envelopes) ships pickled.
 
 Pickle is acceptable here because both frame ends live in the same trusted
 process on localhost — the transport exists to exercise real serialization
@@ -33,12 +38,22 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 _TEXT = 0
 _PICKLE = 1
+_DOCUMENT = 2
+
+
+def _is_document_envelope(payload: object) -> bool:
+    return isinstance(payload, dict) and isinstance(payload.get("document"), str)
 
 
 def encode_frame(message: Message) -> bytes:
     """Render ``message`` as one length-prefixed frame."""
     if isinstance(message.payload, str):
         encoding, payload = _TEXT, message.payload.encode("utf-8")
+    elif _is_document_envelope(message.payload):
+        meta = {key: value for key, value in message.payload.items() if key != "document"}
+        header = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+        encoding = _DOCUMENT
+        payload = HEADER.pack(len(header)) + header + message.payload["document"].encode("utf-8")
     else:
         encoding, payload = _PICKLE, pickle.dumps(
             message.payload, protocol=pickle.HIGHEST_PROTOCOL
@@ -82,7 +97,14 @@ def decode_body(body: bytes) -> Message:
         encoding,
         payload,
     ) = pickle.loads(body)
-    value = payload.decode("utf-8") if encoding == _TEXT else pickle.loads(payload)
+    if encoding == _TEXT:
+        value = payload.decode("utf-8")
+    elif encoding == _DOCUMENT:
+        (header_length,) = HEADER.unpack_from(payload)
+        value = pickle.loads(payload[HEADER.size : HEADER.size + header_length])
+        value["document"] = payload[HEADER.size + header_length :].decode("utf-8")
+    else:
+        value = pickle.loads(payload)
     return Message(
         sender=sender,
         recipient=recipient,

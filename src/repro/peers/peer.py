@@ -13,7 +13,16 @@ Message kinds understood:
 ``mqp``
     A serialized mutant query plan to process and route onward.
 ``result`` / ``partial-result``
-    A (possibly partial) query result arriving at its target.
+    A (possibly partial) query result arriving at its target in one frame.
+``result-chunk`` / ``result-end``
+    The chunked result protocol (``flags.streaming_results``): the
+    answering peer pumps the result out as a sequence of small framed
+    chunks with per-query sequence numbers, closed by a ``result-end``
+    carrying the metadata the single ``result`` frame used to carry.
+``cancel-query``
+    A query was cancelled at its issuer: tear down open result streams,
+    drop the plan if it arrives here, and propagate along the forwarding
+    chain.
 ``register``
     A server announcing itself (entry + optional intensional statements).
 ``register-ack``
@@ -25,7 +34,8 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from itertools import islice
+from typing import Callable, Iterator, Sequence
 
 from ..algebra import QueryPlan
 from ..catalog import (
@@ -80,6 +90,63 @@ class QueryResult:
         return len(self.items)
 
 
+@dataclass
+class _ResultStream:
+    """Producer-side state of one chunked result delivery."""
+
+    query_id: str
+    target: str
+    iterator: Iterator[XMLElement]
+    partial: bool
+    hops: int
+    staleness: float
+    stream: str
+    seq: int = 0
+    sent_items: int = 0
+
+
+def _insert_capped(
+    entries: dict,
+    key: object,
+    value: object,
+    cap: int,
+    evicted: Callable[[object], None] | None = None,
+) -> None:
+    """(Re)insert into an insertion-ordered dict and bound its size.
+
+    Re-inserting refreshes recency, so actively used keys are never the
+    eviction victim; past ``cap`` the oldest entries go (``evicted`` is
+    called with each evicted key).  The shared idiom for every per-query
+    bookkeeping map a long-running relay must keep bounded.
+    """
+    entries.pop(key, None)
+    entries[key] = value
+    while len(entries) > cap:
+        oldest = next(iter(entries))
+        del entries[oldest]
+        if evicted is not None:
+            evicted(oldest)
+
+
+@dataclass
+class _ChunkAssembly:
+    """Receiver-side reassembly of one chunked delivery.
+
+    Chunks are individual messages, so the network may deliver them out of
+    order; they are released to the arrival buffer (and the chunk watchers)
+    strictly in sequence, and a ``result-end`` that overtakes its chunks is
+    stashed until the sequence is complete.  Each assembly owns its own
+    released-item list, so two deliveries for the same query — even
+    interleaved — reassemble independently.
+    """
+
+    stream: str
+    next_seq: int = 0
+    items: list[XMLElement] = field(default_factory=list)  # released, in order
+    pending: dict[int, list[XMLElement]] = field(default_factory=dict)
+    end: dict | None = None  # a result-end envelope that arrived early
+
+
 class QueryPeer(NetworkNode):
     """A peer that can serve data, maintain indexes, and issue queries."""
 
@@ -109,10 +176,28 @@ class QueryPeer(NetworkNode):
         )
         self.results: dict[str, QueryResult] = {}
         self._result_watchers: dict[str, list[Callable[[QueryResult], None]]] = {}
+        self._terminal_watchers: dict[str, list[Callable[[QueryResult], None]]] = {}
         self.statements: list[IntensionalStatement] = []
         self.plans_processed = 0
         self.plans_forwarded = 0
         self.plans_stuck = 0
+        # -- chunked result delivery + cancellation -------------------------- #
+        self.result_chunk_items = 64
+        # Insertion-ordered and capped (see _remember_cancelled /
+        # _remember_forward): per-query bookkeeping on a long-running relay
+        # must not grow without bound.
+        self.cancelled_queries: dict[str, None] = {}
+        self._cancel_notified: dict[tuple[str, str], None] = {}
+        self.cancel_memory = 4096
+        self.forward_memory = 4096
+        self.assembly_memory = 1024
+        self.plans_cancelled = 0
+        self._open_streams: dict[str, _ResultStream] = {}
+        self._stream_counter = 0
+        self._chunk_buffers: dict[str, list[XMLElement]] = {}
+        self._chunk_assemblies: dict[tuple[str, str], _ChunkAssembly] = {}
+        self._chunk_watchers: dict[str, list[Callable[[list[XMLElement], str], None]]] = {}
+        self._forwarded_to: dict[str, str] = {}
         # -- churn awareness ------------------------------------------------ #
         self.registration_targets: list[str] = []
         self.suspected_dead: set[str] = set()
@@ -240,6 +325,8 @@ class QueryPeer(NetworkNode):
         """
         self.plans_lost_in_crash += len(self._mqp_buffer)
         self._mqp_buffer.clear()
+        for query_id in list(self._open_streams):
+            self._teardown_stream(query_id)
         super().go_offline(graceful=graceful)
 
     def go_online(self) -> None:
@@ -354,11 +441,90 @@ class QueryPeer(NetworkNode):
     def unwatch_results(
         self, query_id: str, callback: Callable[[QueryResult], None] | None = None
     ) -> None:
-        """Drop watchers for ``query_id`` — all of them, or one callback."""
+        """Drop watchers for ``query_id`` — all of them, or one callback.
+
+        Safe to call from inside a watcher callback: dispatch walks a
+        snapshot but honours removals, so a watcher unregistered mid-flight
+        (itself or a sibling) does not fire afterwards, and the remaining
+        siblings are never skipped.  ``_terminal_watchers`` keeps the list
+        of a final result addressable while its dispatch is running, so
+        unwatching during the terminal notification works too.
+        """
         if callback is None:
             self._result_watchers.pop(query_id, None)
+            terminal = self._terminal_watchers.get(query_id)
+            if terminal is not None:
+                terminal.clear()
             return
-        watchers = self._result_watchers.get(query_id)
+        for registry in (self._result_watchers, self._terminal_watchers):
+            watchers = registry.get(query_id)
+            if watchers is None:
+                continue
+            try:
+                watchers.remove(callback)
+            except ValueError:
+                continue
+            if not watchers and registry is self._result_watchers:
+                registry.pop(query_id, None)
+
+    def _dispatch_result(self, query_id: str, result: QueryResult) -> None:
+        """Notify the query's watchers, tolerating reentrant registry edits.
+
+        A watcher may unwatch itself, unwatch a sibling, register new
+        watchers, or issue a brand-new query (whose own delivery may recurse
+        into this method for a different query id) — none of which may
+        corrupt the registry or skip a still-registered sibling.
+        """
+        if result.partial:
+            live = self._result_watchers.get(query_id)
+            if not live:
+                # Nothing registered for this partial.  Leave any terminal
+                # holder alone: a reentrant partial dispatch (from inside a
+                # watcher running under the final dispatch below) must not
+                # release the list the outer loop is still walking.
+                return
+        else:
+            # A final result is terminal: release the registry entry first,
+            # but keep the list reachable for unwatch calls mid-dispatch.
+            live = self._result_watchers.pop(query_id, None)
+            if live is not None:
+                self._terminal_watchers[query_id] = live
+            if not live:
+                self._terminal_watchers.pop(query_id, None)
+                return
+        try:
+            for watcher in list(live):
+                holder = (
+                    self._result_watchers.get(query_id)
+                    if result.partial
+                    else self._terminal_watchers.get(query_id)
+                )
+                if holder is None or watcher not in holder:
+                    continue  # unregistered while dispatch was running
+                watcher(result)
+        finally:
+            self._terminal_watchers.pop(query_id, None)
+
+    # -- chunk watching (how QueryHandle.items() streams) --------------------- #
+
+    def watch_chunks(
+        self, query_id: str, callback: Callable[[list[XMLElement], str], None]
+    ) -> None:
+        """Invoke ``callback(items, stream)`` per batch of arrived chunk items.
+
+        The stream token identifies the delivery the batch belongs to; a
+        token change means a new delivery superseded the previous one.
+        """
+        self._chunk_watchers.setdefault(query_id, []).append(callback)
+
+    def unwatch_chunks(
+        self, query_id: str, callback: Callable[[list[XMLElement], str], None] | None = None
+    ) -> None:
+        """Drop chunk watchers for ``query_id`` — all of them, or one."""
+        if callback is None:
+            self._chunk_watchers.pop(query_id, None)
+            return
+        watchers = self._chunk_watchers.get(query_id)
         if watchers is None:
             return
         try:
@@ -366,7 +532,11 @@ class QueryPeer(NetworkNode):
         except ValueError:
             pass
         if not watchers:
-            self._result_watchers.pop(query_id, None)
+            self._chunk_watchers.pop(query_id, None)
+
+    def chunk_items(self, query_id: str) -> list[XMLElement]:
+        """Every chunk item received so far for ``query_id`` (arrival order)."""
+        return list(self._chunk_buffers.get(query_id, ()))
 
     # ------------------------------------------------------------------ #
     # Message handling
@@ -380,6 +550,12 @@ class QueryPeer(NetworkNode):
             self._handle_mqp(message)
         elif message.kind in ("result", "partial-result"):
             self._handle_result(message)
+        elif message.kind == "result-chunk":
+            self._handle_result_chunk(message)
+        elif message.kind == "result-end":
+            self._handle_result_end(message)
+        elif message.kind == "cancel-query":
+            self.cancel_query(message.payload)
         elif message.kind == "register":
             self._handle_register(message)
         elif message.kind == "register-ack":
@@ -419,6 +595,12 @@ class QueryPeer(NetworkNode):
         if not documents:
             return
         mqps = [MutantQueryPlan.deserialize(document) for document in documents]
+        if self.cancelled_queries:
+            kept = [mqp for mqp in mqps if mqp.query_id not in self.cancelled_queries]
+            self.plans_cancelled += len(mqps) - len(kept)
+            mqps = kept
+            if not mqps:
+                return
         self.batches_processed += 1
         self.plans_processed += len(mqps)
         for mqp in mqps:
@@ -430,6 +612,9 @@ class QueryPeer(NetworkNode):
             self._act_on(result)
 
     def _process_and_act(self, mqp: MutantQueryPlan, rerouted: bool = False) -> None:
+        if mqp.query_id in self.cancelled_queries:
+            self.plans_cancelled += 1
+            return
         if rerouted:
             self.plans_rerouted += 1
         else:
@@ -451,6 +636,7 @@ class QueryPeer(NetworkNode):
         elif result.action is ProcessingAction.FORWARD:
             assert result.next_hop is not None
             self.plans_forwarded += 1
+            self._remember_forward(mqp.query_id, result.next_hop)
             payload = mqp.serialize()
             sent = self.send(result.next_hop, "mqp", payload, size_bytes=len(payload))
             trace.messages += 1
@@ -461,8 +647,12 @@ class QueryPeer(NetworkNode):
 
     def _deliver(self, mqp: MutantQueryPlan, partial: bool) -> None:
         target = mqp.target or self.address
+        self._forwarded_to.pop(mqp.query_id, None)
         mqp.provenance.add(self.address, ProvenanceAction.DELIVERED, self.now, detail=target)
         items = self._extract_result_items(mqp, partial)
+        if flags.streaming_results and target != self.address:
+            self._stream_result(mqp, items, partial, target)
+            return
         # The wrapper shares the items: it exists only to be serialized on
         # the next line, and serialization never mutates, so the per-item
         # deep copy the seed made here bought nothing at delivery scale.
@@ -480,11 +670,106 @@ class QueryPeer(NetworkNode):
         }
         trace = self.network.metrics.trace(mqp.query_id)  # type: ignore[union-attr]
         if target == self.address:
-            self._record_result(envelope)
+            # Same guards as _handle_result: a duplicate plan copy that goes
+            # stuck here must not overwrite a recorded complete answer (and
+            # a cancelled query records nothing).
+            if mqp.query_id not in self.cancelled_queries and not self._is_answered(
+                mqp.query_id
+            ):
+                self._record_result(envelope)
             return
         sent = self.send(target, kind, envelope, size_bytes=len(payload))
         trace.messages += 1
         trace.bytes += sent.size_bytes
+
+    # -- chunked result delivery (flags.streaming_results) --------------------- #
+
+    def _stream_result(
+        self, mqp: MutantQueryPlan, items: Sequence[XMLElement], partial: bool, target: str
+    ) -> None:
+        """Open a chunked delivery: the result leaves as framed chunks.
+
+        The stream token distinguishes deliveries when one query is
+        answered more than once (a partial from a stuck branch, then a
+        complete answer): the receiver reassembles per stream, never
+        mixing two deliveries' items.
+        """
+        # A newer delivery supersedes any stream still pumping for this
+        # query: close its iterator instead of silently truncating it.
+        self._teardown_stream(mqp.query_id)
+        self._stream_counter += 1
+        state = _ResultStream(
+            query_id=mqp.query_id,
+            target=target,
+            iterator=iter(items),
+            partial=partial,
+            hops=mqp.provenance.hop_count(),
+            staleness=mqp.provenance.max_staleness(),
+            stream=f"{self.address}/{self._stream_counter}",
+        )
+        self._open_streams[mqp.query_id] = state
+        self._pump_stream(mqp.query_id, state.stream)
+
+    def _pump_stream(self, query_id: str, stream: str) -> None:
+        """Send the next chunk of an open stream, or close it with result-end.
+
+        Each chunk is its own framed message on the wire, and the next pump
+        is a fresh event on the logical clock — so a bounded receiving
+        inbox (the aio backend) exerts backpressure between chunks, and a
+        cancel notice arriving mid-stream tears the iterator down before
+        the remaining chunks are produced.
+        """
+        state = self._open_streams.get(query_id)
+        if state is None or state.stream != stream:
+            # A stale pump event: its stream was torn down (or superseded
+            # by a newer delivery, which drives its own pump chain — one
+            # chunk per logical event, never two).
+            return
+        if not self.online or query_id in self.cancelled_queries:
+            self._teardown_stream(query_id)
+            return
+        chunk = list(islice(state.iterator, self.result_chunk_items))
+        trace = self.network.metrics.trace(query_id)  # type: ignore[union-attr]
+        if chunk:
+            if not flags.shared_wire_trees:
+                chunk = [item.copy() for item in chunk]
+            collection = XMLElement(
+                "result-chunk", {"query-id": query_id, "seq": str(state.seq)}, chunk
+            )
+            payload = serialize_xml(collection)
+            envelope = {
+                "document": payload,
+                "query_id": query_id,
+                "stream": state.stream,
+                "seq": state.seq,
+            }
+            sent = self.send(state.target, "result-chunk", envelope, size_bytes=len(payload))
+            trace.messages += 1
+            trace.bytes += sent.size_bytes
+            state.seq += 1
+            state.sent_items += len(chunk)
+            self.schedule(0.0, lambda: self._pump_stream(query_id, stream))
+            return
+        envelope = {
+            "query_id": query_id,
+            "stream": state.stream,
+            "seq": state.seq,
+            "items_total": state.sent_items,
+            "partial": state.partial,
+            "hops": state.hops,
+            "staleness": state.staleness,
+        }
+        sent = self.send(state.target, "result-end", envelope, size_bytes=128)
+        trace.messages += 1
+        trace.bytes += sent.size_bytes
+        self._open_streams.pop(query_id, None)
+
+    def _teardown_stream(self, query_id: str) -> None:
+        state = self._open_streams.pop(query_id, None)
+        if state is not None:
+            close = getattr(state.iterator, "close", None)
+            if close is not None:
+                close()
 
     @staticmethod
     def _extract_result_items(mqp: MutantQueryPlan, partial: bool) -> list[XMLElement]:
@@ -498,30 +783,211 @@ class QueryPeer(NetworkNode):
         return items
 
     def _handle_result(self, message: Message) -> None:
+        query_id = message.payload["query_id"]
+        if query_id in self.cancelled_queries:
+            return  # the issuer no longer wants this answer
+        if self._is_answered(query_id):
+            # A complete result is terminal: a straggling partial from a
+            # slower relay path (or a duplicate) must not overwrite it.
+            return
         self._record_result(message.payload)
 
     def _record_result(self, envelope: dict) -> None:
         document = parse_xml(envelope["document"])
-        query_id = envelope["query_id"]
+        self._finalize_result(
+            envelope["query_id"],
+            list(document.children),
+            partial=bool(envelope.get("partial", False)),
+            hops=int(envelope.get("hops", 0)),
+            staleness=float(envelope.get("staleness", 0.0)),
+        )
+
+    def _finalize_result(
+        self, query_id: str, items: list[XMLElement], partial: bool, hops: int, staleness: float
+    ) -> None:
         result = QueryResult(
             query_id=query_id,
-            items=list(document.children),
-            partial=bool(envelope.get("partial", False)),
+            items=items,
+            partial=partial,
             received_at=self.now,
-            provenance_hops=int(envelope.get("hops", 0)),
-            max_staleness_minutes=float(envelope.get("staleness", 0.0)),
+            provenance_hops=hops,
+            max_staleness_minutes=staleness,
         )
         self.results[query_id] = result
         trace = self.network.metrics.trace(query_id)  # type: ignore[union-attr]
         trace.completed_at = self.now
         trace.answers = result.count
-        if result.partial:
-            watchers = list(self._result_watchers.get(query_id, ()))
-        else:
-            # A final result is terminal: notify and release the watchers.
-            watchers = self._result_watchers.pop(query_id, [])
-        for watcher in watchers:  # handle completion
-            watcher(result)
+        self._dispatch_result(query_id, result)  # handle completion
+
+    # -- chunked result reassembly ------------------------------------------- #
+
+    def _assembly_for(self, query_id: str, stream: str) -> _ChunkAssembly:
+        # Keyed by (query, stream): concurrent deliveries for one query
+        # (a partial from a stuck branch interleaved with the complete
+        # answer) reassemble independently instead of clobbering each other.
+        key = (query_id, stream)
+        assembly = self._chunk_assemblies.get(key)
+        if assembly is None:
+            assembly = _ChunkAssembly(stream=stream)
+        # Each chunk arrival refreshes recency, so under the cap the
+        # eviction victim is always a stream whose producer went quiet
+        # mid-delivery.  Past the cap (more than assembly_memory deliveries
+        # reassembling at once) the least-recently-fed live stream is
+        # abandoned too: bounded memory wins over completeness, and the
+        # waiting handle degrades exactly as if the producer had died
+        # (idle → partial answer or QueryTimeout).
+        _insert_capped(
+            self._chunk_assemblies,
+            key,
+            assembly,
+            self.assembly_memory,
+            self._assembly_evicted,
+        )
+        return assembly
+
+    def _assembly_evicted(self, key: object) -> None:
+        query_id = key[0]  # type: ignore[index]
+        if not any(k[0] == query_id for k in self._chunk_assemblies):
+            self._chunk_buffers.pop(query_id, None)
+
+    def _drop_assemblies(self, query_id: str) -> None:
+        for key in [key for key in self._chunk_assemblies if key[0] == query_id]:
+            del self._chunk_assemblies[key]
+
+    def _is_answered(self, query_id: str) -> bool:
+        """True once a complete (non-partial) result has been recorded.
+
+        A superseded stream's in-flight chunks can straggle in after the
+        superseding delivery already closed; replaying them would repopulate
+        the arrival buffer with stale items (or strand an orphan assembly),
+        so chunk and end frames for an answered query are dropped.
+        """
+        recorded = self.results.get(query_id)
+        return recorded is not None and not recorded.partial
+
+    def _handle_result_chunk(self, message: Message) -> None:
+        envelope: dict = message.payload
+        query_id = envelope["query_id"]
+        if query_id in self.cancelled_queries:
+            # Upstream teardown, driven by arriving traffic: tell the
+            # producer to close its stream instead of pumping the rest —
+            # once, not once per straggler frame already on the link.
+            if (query_id, message.sender) not in self._cancel_notified:
+                _insert_capped(
+                    self._cancel_notified,
+                    (query_id, message.sender),
+                    None,
+                    self.cancel_memory,
+                )
+                self.send(message.sender, "cancel-query", query_id, size_bytes=64)
+            return
+        if self._is_answered(query_id):
+            return
+        stream = str(envelope.get("stream", message.sender))
+        seq = int(envelope.get("seq", 0))
+        assembly = self._assembly_for(query_id, stream)
+        items = list(parse_xml(envelope["document"]).children)
+        if seq in assembly.pending or seq < assembly.next_seq:
+            raise PeerError(
+                f"{self.address}: duplicate result-chunk {seq} for query {query_id!r}"
+            )
+        assembly.pending[seq] = items
+        self._release_in_order(query_id, assembly)
+
+    def _release_in_order(self, query_id: str, assembly: _ChunkAssembly) -> None:
+        """Move consecutively sequenced chunks into the arrival buffer."""
+        while assembly.next_seq in assembly.pending:
+            items = assembly.pending.pop(assembly.next_seq)
+            assembly.next_seq += 1
+            assembly.items.extend(items)
+            if self._chunk_buffers.get(query_id) is not assembly.items:
+                # The arrival buffer mirrors whichever delivery released
+                # most recently — always one delivery's in-order items,
+                # never a mix of interleaved streams.  Buffers of degraded
+                # (partial) answers a long-running issuer accumulates are
+                # bounded exactly like the reassembly state.
+                _insert_capped(
+                    self._chunk_buffers, query_id, assembly.items, self.assembly_memory
+                )
+            watchers = self._chunk_watchers.get(query_id)
+            if watchers:
+                for watcher in list(watchers):
+                    if watcher in (self._chunk_watchers.get(query_id) or ()):
+                        watcher(items, assembly.stream)
+        end = assembly.end
+        if end is not None and assembly.next_seq >= int(end.get("seq", 0)):
+            self._close_assembly(query_id, assembly)
+
+    def _handle_result_end(self, message: Message) -> None:
+        envelope: dict = message.payload
+        query_id = envelope["query_id"]
+        if query_id in self.cancelled_queries:
+            self._chunk_buffers.pop(query_id, None)
+            self._drop_assemblies(query_id)
+            return
+        if self._is_answered(query_id):
+            return
+        stream = str(envelope.get("stream", message.sender))
+        assembly = self._assembly_for(query_id, stream)
+        assembly.end = envelope
+        if assembly.next_seq >= int(envelope.get("seq", 0)):
+            self._close_assembly(query_id, assembly)
+        # Otherwise the end overtook its chunks; it closes the stream the
+        # moment the missing sequence numbers arrive.
+
+    def _close_assembly(self, query_id: str, assembly: _ChunkAssembly) -> None:
+        envelope = assembly.end
+        assert envelope is not None
+        self._chunk_assemblies.pop((query_id, assembly.stream), None)
+        items = assembly.items
+        expected_items = int(envelope.get("items_total", len(items)))
+        if len(items) != expected_items:
+            raise PeerError(
+                f"{self.address}: result-end for query {query_id!r} closes stream "
+                f"{assembly.stream!r} with {expected_items} item(s), "
+                f"but {len(items)} arrived"
+            )
+        partial = bool(envelope.get("partial", False))
+        if not partial:
+            # The query is answered: any other delivery still reassembling
+            # (a superseded stream the producer tore down) is stale.
+            self._chunk_buffers.pop(query_id, None)
+            self._drop_assemblies(query_id)
+        self._finalize_result(
+            query_id,
+            items,
+            partial=partial,
+            hops=int(envelope.get("hops", 0)),
+            staleness=float(envelope.get("staleness", 0.0)),
+        )
+
+    # -- cancellation --------------------------------------------------------- #
+
+    def _remember_forward(self, query_id: str, next_hop: str) -> None:
+        _insert_capped(self._forwarded_to, query_id, next_hop, self.forward_memory)
+
+    def _remember_cancelled(self, query_id: str) -> None:
+        _insert_capped(self.cancelled_queries, query_id, None, self.cancel_memory)
+
+    def cancel_query(self, query_id: str) -> None:
+        """Cancel a query here and propagate along the forwarding chain.
+
+        Idempotent.  Open result streams for the query are torn down (their
+        iterators closed), buffered chunks dropped, watchers released, and
+        the plan — should it arrive or still be in flight downstream — is
+        discarded by every peer the cancel notice reaches.
+        """
+        if query_id in self.cancelled_queries:
+            return
+        self._remember_cancelled(query_id)
+        self._teardown_stream(query_id)
+        self._chunk_buffers.pop(query_id, None)
+        self._drop_assemblies(query_id)
+        self.unwatch_results(query_id)
+        self.unwatch_chunks(query_id)
+        next_hop = self._forwarded_to.pop(query_id, None)
+        if next_hop is not None and self.network is not None and self.online:
+            self.send(next_hop, "cancel-query", query_id, size_bytes=64)
 
     # -- registration handling --------------------------------------------------- #
 
@@ -574,12 +1040,21 @@ class QueryPeer(NetworkNode):
         if original.kind == "mqp":
             mqp = MutantQueryPlan.deserialize(original.payload)
             self._process_and_act(mqp, rerouted=True)
-        else:
-            # Every other undeliverable kind is dead-lettered — results,
-            # registrations, acks, unregisters alike.  The previous
-            # allowlist silently discarded kinds it did not anticipate,
-            # which made failure accounting undercount under churn.
-            self.dead_letters.append(original)
+            return
+        if original.kind in ("result-chunk", "result-end"):
+            # The consumer is gone: close the open stream instead of
+            # pumping every remaining chunk into the dead-letter queue
+            # one unreachable bounce at a time.  Matched by stream token —
+            # a stale bounce from an already-superseded delivery must not
+            # kill the live successor (same hazard _pump_stream guards).
+            state = self._open_streams.get(original.payload["query_id"])
+            if state is not None and state.stream == original.payload.get("stream"):
+                self._teardown_stream(state.query_id)
+        # Every other undeliverable kind is dead-lettered — results,
+        # registrations, acks, unregisters alike.  The previous
+        # allowlist silently discarded kinds it did not anticipate,
+        # which made failure accounting undercount under churn.
+        self.dead_letters.append(original)
 
     # ------------------------------------------------------------------ #
 

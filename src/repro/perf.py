@@ -21,7 +21,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["flags", "seed_baseline"]
+__all__ = ["flags", "seed_baseline", "overrides"]
 
 
 class _Flags:
@@ -39,6 +39,20 @@ class _Flags:
       seed's re-encode/re-parse at every hop.
     * ``cached_predicates`` — identical predicate texts share one memoized
       immutable expression AST vs. the seed's per-call tokenizer run.
+    * ``streaming_engine`` — pull-based iterator evaluation with bounded
+      pipeline-breaker buffers vs. the seed's fully materialized lists.
+      Both modes return byte-identical results; the seed path remains the
+      correctness oracle for the differential suite.
+    * ``streaming_results`` — results leave the answering peer as a
+      sequence of ``result-chunk`` frames closed by ``result-end`` vs. the
+      seed's single monolithic ``result`` frame.  Off by default: the
+      byte-identity gates compare scenario reports against the seed wire
+      behaviour, and chunking consumes extra per-message latency draws.
+    * ``eager_area_plans`` — a peer holding any URL referenced by a
+      predicate-less plan (a bare union of URLs) pins its local data into
+      the plan as verbatim XML, so such plans complete instead of
+      ping-ponging between data holders to ``max_hops``.  Off by default
+      for the same byte-identity reason.
     """
 
     __slots__ = (
@@ -47,6 +61,9 @@ class _Flags:
         "shared_wire_trees",
         "lazy_original_plans",
         "cached_predicates",
+        "streaming_engine",
+        "streaming_results",
+        "eager_area_plans",
     )
 
     def __init__(self) -> None:
@@ -55,6 +72,9 @@ class _Flags:
         self.shared_wire_trees = True
         self.lazy_original_plans = True
         self.cached_predicates = True
+        self.streaming_engine = True
+        self.streaming_results = False
+        self.eager_area_plans = False
 
 
 flags = _Flags()
@@ -71,10 +91,25 @@ def seed_baseline() -> Iterator[None]:
     benchmarks to measure the optimized paths against the seed behaviour,
     and by the equivalence tests to diff their results.
     """
-    names = _Flags.__slots__
-    previous = {name: getattr(flags, name) for name in names}
-    for name in names:
-        setattr(flags, name, False)
+    with overrides(**{name: False for name in _Flags.__slots__}):
+        yield
+
+
+@contextmanager
+def overrides(**values: bool) -> Iterator[None]:
+    """Run the enclosed block with specific flags forced to given values.
+
+    Unlike :func:`seed_baseline` this flips only the named switches — the
+    differential suites use it to compare exactly one axis (for example the
+    streaming engine against the materialized oracle) with every other
+    optimization held constant.
+    """
+    unknown = [name for name in values if name not in _Flags.__slots__]
+    if unknown:
+        raise AttributeError(f"unknown perf flag(s): {', '.join(sorted(unknown))}")
+    previous = {name: getattr(flags, name) for name in values}
+    for name, value in values.items():
+        setattr(flags, name, bool(value))
     try:
         yield
     finally:

@@ -268,6 +268,9 @@ class TestQueryHandleOnBothTransports:
             )
             with pytest.raises(QueryTimeout, match="idle"):
                 handle.result()
+            # items() fails just as loudly — a lost plan is not an empty result.
+            with pytest.raises(QueryTimeout, match="idle"):
+                list(handle.items())
 
     def test_partial_result_on_crashed_seller(self, transport):
         with small_cluster(transport) as cluster:
@@ -364,6 +367,9 @@ class TestQueryHandleOnBothTransports:
             client.crash()  # goes offline before the answer can return
             with pytest.raises(PeerOffline):
                 handle.result(timeout=120_000)
+            # items() fails just as loudly — no clean-looking empty stream.
+            with pytest.raises(PeerOffline):
+                list(handle.items(timeout=120_000))
 
 
 class TestDeprecationShims:
