@@ -36,7 +36,7 @@ setup(
         "networkx",
     ],
     extras_require={
-        "test": ["pytest"],
+        "test": ["pytest", "hypothesis"],
         "bench": ["pytest", "pytest-benchmark"],
         # CI toolchain: pinned so lint/typecheck failures mean code
         # changes, not tool drift.  pytest-timeout guards the real-socket
@@ -45,6 +45,7 @@ setup(
             "pytest",
             "pytest-benchmark",
             "pytest-timeout==2.3.1",
+            "hypothesis",
             "ruff==0.8.4",
             "mypy==1.13.0",
         ],

@@ -223,16 +223,20 @@ class Cluster:
         profile: "ChurnProfile | str" = "moderate",
         window_ms: tuple[float, float] = (100.0, 4_000.0),
         seed: int = 13,
+        regions: dict[str, str] | None = None,
     ) -> ChurnPlan:
         """Schedule a churn plan (leaves, crashes, rejoins) on the clock.
 
-        ``addresses`` defaults to every joined peer.  The plan is recorded
-        on :attr:`churn_plans` for reporting.
+        ``addresses`` defaults to every joined peer.  ``regions`` (address →
+        region key) enables correlated profiles to fail whole regions at
+        once.  The plan is recorded on :attr:`churn_plans` for reporting.
         """
         if addresses is None:
             addresses = list(self._join_order)
         injector = FailureInjector(self.network)
-        plan = injector.schedule_churn(list(addresses), profile, window_ms=window_ms, seed=seed)
+        plan = injector.schedule_churn(
+            list(addresses), profile, window_ms=window_ms, seed=seed, regions=regions
+        )
         self.churn_plans.append(plan)
         return plan
 

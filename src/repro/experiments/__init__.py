@@ -1,0 +1,53 @@
+"""Statistical experiment matrices over the scale-out harness.
+
+The harness runs one seeded scenario; this package runs *grids* of them —
+scenario × seed × repeat — streams one row per run to JSONL/CSV, and
+reduces every cell to a Wilson confidence interval on answer completeness
+plus a two-proportion z-test against a baseline cell.  The statistics
+(:mod:`repro.experiments.stats`) are dependency-free so the analysis layer
+never drags in more than the simulator already needs.
+
+Programmatic entry point::
+
+    from repro.experiments import ExperimentSpec, run_experiment
+
+Command line::
+
+    repro experiment --scenarios smoke,free-riders --seeds 11,17 --repeats 3
+"""
+
+from .grid import (
+    ROW_COLUMNS,
+    ROW_SCHEMA_VERSION,
+    Experiment,
+    ExperimentResult,
+    ExperimentSpec,
+    derive_run_seed,
+    run_experiment,
+)
+from .stats import (
+    ConfidenceInterval,
+    ZTestResult,
+    mean,
+    normal_cdf,
+    two_prop_ztest,
+    wilson_ci,
+    z_for_confidence,
+)
+
+__all__ = [
+    "ROW_COLUMNS",
+    "ROW_SCHEMA_VERSION",
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "derive_run_seed",
+    "run_experiment",
+    "ConfidenceInterval",
+    "ZTestResult",
+    "mean",
+    "normal_cdf",
+    "two_prop_ztest",
+    "wilson_ci",
+    "z_for_confidence",
+]

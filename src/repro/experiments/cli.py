@@ -1,0 +1,173 @@
+"""The ``repro experiment`` subcommand: run a grid, print the statistics.
+
+Composes an :class:`~repro.experiments.grid.ExperimentSpec` from named
+scenario presets (the same registry the single-run CLI uses), runs the
+scenario × seed × repeat grid, streams per-run rows to
+``<output-dir>/rows.jsonl`` and ``rows.csv``, writes the aggregate report
+to ``summary.json``, and prints one table row per cell — completeness with
+its Wilson interval, and the z-test p-value against the baseline cell.
+
+Examples
+--------
+Compare the cooperative smoke preset against free riders, three seeds,
+three repeats each::
+
+    repro experiment --scenarios smoke,free-riders --seeds 11,17,23 --repeats 3
+
+A tiny CI-sized grid with downsized populations::
+
+    repro experiment --scenarios smoke,free-riders --seeds 11,17 \
+        --repeats 3 --peers 40 --queries 6 --output-dir reports/exp-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+
+from ..errors import ReproError
+from ..network import TRANSPORT_KINDS
+from ..harness.report import format_table, write_json_report
+from .grid import ExperimentSpec, run_experiment
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro experiment`` argument parser (exposed for docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro experiment",
+        description="Run a scenario × seed × repeat experiment grid with statistics.",
+    )
+    parser.add_argument("--scenarios", default="smoke,free-riders",
+                        help="comma-separated scenario preset names "
+                             "(see `repro --list`; default: smoke,free-riders)")
+    parser.add_argument("--seeds", default="11,17,23",
+                        help="comma-separated base seeds (default: 11,17,23)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repeats per (scenario, seed); run seed is "
+                             "seed*1000+repeat (default: 3)")
+    parser.add_argument("--transport", choices=TRANSPORT_KINDS, default="sim",
+                        help="delivery backend for every run (default: sim)")
+    parser.add_argument("--baseline", default=None,
+                        help="scenario the z-tests compare against "
+                             "(default: the first of --scenarios)")
+    parser.add_argument("--name", default=None,
+                        help="experiment name (default: derived from scenarios)")
+    parser.add_argument("--peers", type=int, default=None,
+                        help="override peer count on every scenario (smoke grids)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="override query count on every scenario (smoke grids)")
+    parser.add_argument("--threshold", type=float, default=1.0,
+                        help="recall at which a query counts as complete (default: 1.0)")
+    parser.add_argument("--confidence", type=float, default=0.95,
+                        help="confidence level for the Wilson intervals (default: 0.95)")
+    parser.add_argument("--output-dir", default=None,
+                        help="directory for rows.jsonl, rows.csv and summary.json "
+                             "(default: reports/experiments/<name>)")
+    return parser
+
+
+def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
+    """Resolve preset names and overrides into a validated grid spec."""
+    from ..harness.cli import SCENARIOS  # late import: harness.cli dispatches to us
+
+    names = [name.strip() for name in args.scenarios.split(",") if name.strip()]
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise ReproError(
+            f"unknown scenario preset(s) {unknown}; see `repro --list` for choices"
+        )
+    overrides = {
+        key: value
+        for key, value in {"peers": args.peers, "queries": args.queries}.items()
+        if value is not None
+    }
+    scenarios = tuple(replace(SCENARIOS[name], **overrides) for name in names)
+    try:
+        seeds = tuple(int(token) for token in args.seeds.split(",") if token.strip())
+    except ValueError as error:
+        raise ReproError(f"--seeds must be comma-separated integers: {error}") from error
+    return ExperimentSpec(
+        name=args.name or "x".join(names),
+        scenarios=scenarios,
+        seeds=seeds,
+        repeats=args.repeats,
+        transport=args.transport,
+        baseline=args.baseline,
+        complete_threshold=args.threshold,
+        confidence=args.confidence,
+    )
+
+
+def _cell_rows(cells: list[dict[str, object]]) -> list[dict[str, object]]:
+    """Flatten aggregate cells into printable table rows."""
+    rows = []
+    for cell in cells:
+        completeness = cell["completeness"]
+        assert isinstance(completeness, dict)
+        vs = cell.get("vs_baseline")
+        rows.append({
+            "scenario": cell["scenario"],
+            "runs": cell["runs"],
+            "completeness": completeness["proportion"],
+            "ci_low": completeness["ci_low"],
+            "ci_high": completeness["ci_high"],
+            "mean_recall": cell["mean_recall"],
+            "latency_ms": cell["mean_latency_ms"],
+            "p_value": vs["p_value"] if isinstance(vs, dict) else "(baseline)",
+        })
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Subcommand entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        spec = _spec_from_args(args)
+    except ReproError as error:
+        parser.error(str(error))  # exits with status 2
+        return 2  # pragma: no cover - parser.error raises SystemExit
+
+    output_dir = args.output_dir or f"reports/experiments/{spec.name}"
+    print(f"experiment {spec.name}: {len(spec.scenarios)} scenario(s) x "
+          f"{len(spec.seeds)} seed(s) x {spec.repeats} repeat(s) = {spec.runs} runs "
+          f"on {spec.transport}, baseline={spec.baseline_name}")
+
+    started = time.perf_counter()
+    done = {"count": 0}
+
+    def progress(row: dict[str, object]) -> None:
+        done["count"] += 1
+        print(f"  [{done['count']:>3}/{spec.runs}] {row['scenario']} "
+              f"seed={row['seed']} repeat={row['repeat']} "
+              f"completeness={row['completeness']}")
+
+    try:
+        result = run_experiment(
+            spec,
+            jsonl_path=f"{output_dir}/rows.jsonl",
+            csv_path=f"{output_dir}/rows.csv",
+            on_row=progress,
+        )
+    except ReproError as error:
+        parser.error(str(error))
+        return 2  # pragma: no cover - parser.error raises SystemExit
+    elapsed = time.perf_counter() - started
+
+    summary_path = write_json_report(f"{output_dir}/summary.json", result.report())
+    print(format_table(
+        _cell_rows(result.cells),
+        title=f"cells ({spec.confidence:.0%} Wilson CIs, z-test vs {spec.baseline_name})",
+        precision=4,
+    ))
+    print(f"rows + summary written to {output_dir}/ ({elapsed:.1f}s wall clock)")
+    assert summary_path.exists()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,311 @@
+"""The experiment matrix: scenario × seed × repeat grids with statistics.
+
+One deterministic trajectory per configuration is a demo, not a claim.  An
+:class:`Experiment` composes a grid over the existing harness scenarios —
+every :class:`~repro.harness.scaleout.ScaleoutSpec` is one *cell*, run once
+per (seed, repeat) — streams one row per run to JSONL/CSV through
+:class:`~repro.harness.report.RowLog`, and reduces each cell to a Wilson
+confidence interval on answer completeness plus a two-proportion z-test
+against the grid's baseline cell (:mod:`repro.experiments.stats`).
+
+Determinism is the whole point: a run's seed is derived as
+``seed * 1000 + repeat``, every row is computed from the seeded report
+alone (no timestamps, no wall clock), so the same grid always produces the
+same JSONL bytes — on every transport backend.
+
+    spec = ExperimentSpec(
+        name="churn-robustness",
+        scenarios=(baseline_spec, adversarial_spec),
+        seeds=(11, 17, 23),
+        repeats=3,
+    )
+    result = Experiment(spec).run(jsonl_path="reports/rows.jsonl")
+    for cell in result.cells:
+        print(cell["scenario"], cell["completeness"], cell.get("vs_baseline"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator, Mapping, Sequence
+
+from ..errors import SimulationError
+from ..harness.report import RowLog
+from ..harness.scaleout import ScaleoutSpec, run_scaleout
+from .stats import mean, two_prop_ztest, wilson_ci
+
+__all__ = [
+    "ROW_SCHEMA_VERSION",
+    "ROW_COLUMNS",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "Experiment",
+    "run_experiment",
+    "derive_run_seed",
+]
+
+ROW_SCHEMA_VERSION = 1
+
+ROW_COLUMNS = (
+    "schema",
+    "experiment",
+    "scenario",
+    "seed",
+    "repeat",
+    "run_seed",
+    "queries",
+    "complete_queries",
+    "completeness",
+    "mean_recall",
+    "mean_latency_ms",
+    "messages",
+    "bytes",
+    "dropped",
+    "answers",
+    "expected",
+)
+"""Every per-run row carries exactly these keys, in this order."""
+
+
+def derive_run_seed(seed: int, repeat: int) -> int:
+    """The seed one (seed, repeat) run actually executes with.
+
+    Repeats must differ (a deterministic simulator replays the identical
+    trajectory for the identical seed) yet stay reproducible in isolation:
+    ``seed * 1000 + repeat`` lets anyone re-run row ``(seed=17, repeat=2)``
+    as ``--seed 17002`` without the experiment machinery.
+    """
+    return seed * 1000 + repeat
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything that defines an experiment grid.
+
+    ``baseline`` names the scenario cell the z-tests compare against
+    (default: the first scenario).  A query counts as *complete* when its
+    recall reaches ``complete_threshold``; completeness per run is the
+    fraction of complete queries, and the per-cell Wilson interval pools
+    query outcomes across every run of the cell.
+    """
+
+    name: str
+    scenarios: tuple[ScaleoutSpec, ...]
+    seeds: tuple[int, ...] = (11, 17, 23)
+    repeats: int = 1
+    transport: str = "sim"
+    baseline: str | None = None
+    complete_threshold: float = 1.0
+    confidence: float = 0.95
+
+    def validate(self) -> None:
+        """Fail fast on grids that cannot run or cannot be analysed."""
+        if not self.scenarios:
+            raise SimulationError("an experiment needs at least one scenario")
+        names = [scenario.name for scenario in self.scenarios]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"scenario names must be unique, got {names}")
+        if not self.seeds:
+            raise SimulationError("an experiment needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise SimulationError(f"seeds must be unique, got {self.seeds}")
+        if self.repeats < 1:
+            raise SimulationError("repeats must be >= 1")
+        if self.baseline is not None and self.baseline not in names:
+            raise SimulationError(
+                f"baseline {self.baseline!r} is not one of the grid's scenarios {names}"
+            )
+        if not 0.0 < self.complete_threshold <= 1.0:
+            raise SimulationError("complete_threshold must be in (0, 1]")
+        if not 0.0 < self.confidence < 1.0:
+            raise SimulationError("confidence must be in (0, 1)")
+        for scenario in self.scenarios:
+            scenario.validate()
+
+    @property
+    def baseline_name(self) -> str:
+        """The scenario cell z-tests compare against."""
+        return self.baseline if self.baseline is not None else self.scenarios[0].name
+
+    @property
+    def runs(self) -> int:
+        """Total number of runs in the grid."""
+        return len(self.scenarios) * len(self.seeds) * self.repeats
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one grid execution produced."""
+
+    spec: ExperimentSpec
+    rows: list[dict[str, object]] = field(default_factory=list)
+    cells: list[dict[str, object]] = field(default_factory=list)
+
+    def cell(self, scenario: str) -> dict[str, object]:
+        """The aggregate cell for one scenario name."""
+        for cell in self.cells:
+            if cell["scenario"] == scenario:
+                return cell
+        raise KeyError(f"no cell for scenario {scenario!r}")
+
+    def report(self) -> dict[str, object]:
+        """JSON-ready document: grid description, per-cell statistics, rows."""
+        return {
+            "experiment": self.spec.name,
+            "schema": ROW_SCHEMA_VERSION,
+            "grid": {
+                "scenarios": [scenario.name for scenario in self.spec.scenarios],
+                "seeds": list(self.spec.seeds),
+                "repeats": self.spec.repeats,
+                "runs": self.spec.runs,
+                "transport": self.spec.transport,
+                "baseline": self.spec.baseline_name,
+                "complete_threshold": self.spec.complete_threshold,
+                "confidence": self.spec.confidence,
+            },
+            "cells": self.cells,
+            "rows": self.rows,
+        }
+
+
+class Experiment:
+    """Runs an :class:`ExperimentSpec` grid and reduces it to statistics.
+
+    ``runner`` maps ``(ScaleoutSpec, transport)`` to a scenario report; it
+    defaults to :func:`~repro.harness.scaleout.run_scaleout` and exists so
+    tests can substitute a stub (and the differential suite a hand-rolled
+    loop) without standing up real scenarios.
+    """
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        runner: Callable[[ScaleoutSpec, str], Mapping[str, object]] | None = None,
+    ) -> None:
+        spec.validate()
+        self.spec = spec
+        self._runner = runner if runner is not None else (
+            lambda scenario, transport: run_scaleout(scenario, transport=transport)
+        )
+
+    def grid(self) -> Iterator[tuple[ScaleoutSpec, int, int, int]]:
+        """Every (scenario, seed, repeat, run_seed) of the grid, in run order.
+
+        Scenario-major order: all of one scenario's runs are adjacent, so a
+        tail of the streamed JSONL always reads as "currently working
+        through cell X".
+        """
+        for scenario in self.spec.scenarios:
+            for seed in self.spec.seeds:
+                for repeat in range(self.spec.repeats):
+                    yield scenario, seed, repeat, derive_run_seed(seed, repeat)
+
+    def run(
+        self,
+        jsonl_path: str | None = None,
+        csv_path: str | None = None,
+        on_row: Callable[[dict[str, object]], None] | None = None,
+    ) -> ExperimentResult:
+        """Execute the whole grid, streaming one row per run."""
+        result = ExperimentResult(spec=self.spec)
+        with RowLog(jsonl_path, csv_path, csv_columns=ROW_COLUMNS) as log:
+            for scenario, seed, repeat, run_seed in self.grid():
+                report = self._runner(replace(scenario, seed=run_seed), self.spec.transport)
+                row = self._row(scenario.name, seed, repeat, run_seed, report)
+                log.append(row)
+                result.rows.append(row)
+                if on_row is not None:
+                    on_row(row)
+        result.cells = self._reduce(result.rows)
+        return result
+
+    # -- row extraction ----------------------------------------------------- #
+
+    def _row(
+        self,
+        scenario: str,
+        seed: int,
+        repeat: int,
+        run_seed: int,
+        report: Mapping[str, object],
+    ) -> dict[str, object]:
+        """Reduce one scenario report to the flat, deterministic row schema."""
+        queries = report.get("queries")
+        if not isinstance(queries, list):
+            raise SimulationError(
+                f"scenario report for {scenario!r} has no query rows; "
+                "the runner must return a run_scaleout-shaped report"
+            )
+        recalls = [float(query.get("recall") or 0.0) for query in queries]
+        complete = sum(
+            1 for recall in recalls if recall >= self.spec.complete_threshold
+        )
+        traffic = report.get("traffic", {})
+        assert isinstance(traffic, Mapping)
+        return {
+            "schema": ROW_SCHEMA_VERSION,
+            "experiment": self.spec.name,
+            "scenario": scenario,
+            "seed": seed,
+            "repeat": repeat,
+            "run_seed": run_seed,
+            "queries": len(queries),
+            "complete_queries": complete,
+            "completeness": round(complete / len(queries), 4) if queries else 0.0,
+            "mean_recall": round(mean(recalls), 4),
+            "mean_latency_ms": round(float(traffic.get("mean_latency_ms", 0.0)), 3),
+            "messages": int(traffic.get("messages", 0)),
+            "bytes": int(traffic.get("bytes", 0)),
+            "dropped": int(traffic.get("dropped", 0)),
+            "answers": sum(int(query.get("answers") or 0) for query in queries),
+            "expected": sum(int(query.get("expected") or 0) for query in queries),
+        }
+
+    # -- cell reduction ------------------------------------------------------ #
+
+    def _reduce(self, rows: Sequence[Mapping[str, object]]) -> list[dict[str, object]]:
+        """Aggregate per-run rows into per-scenario cells with statistics."""
+        pooled: dict[str, list[Mapping[str, object]]] = {}
+        for row in rows:
+            pooled.setdefault(str(row["scenario"]), []).append(row)
+
+        baseline_rows = pooled.get(self.spec.baseline_name, [])
+        baseline_successes = sum(int(row["complete_queries"]) for row in baseline_rows)
+        baseline_trials = sum(int(row["queries"]) for row in baseline_rows)
+
+        cells: list[dict[str, object]] = []
+        for scenario in self.spec.scenarios:
+            cell_rows = pooled.get(scenario.name, [])
+            successes = sum(int(row["complete_queries"]) for row in cell_rows)
+            trials = sum(int(row["queries"]) for row in cell_rows)
+            interval = wilson_ci(successes, trials, self.spec.confidence)
+            cell: dict[str, object] = {
+                "scenario": scenario.name,
+                "runs": len(cell_rows),
+                "completeness": interval.as_dict(),
+                "mean_recall": round(
+                    mean([float(row["mean_recall"]) for row in cell_rows]), 4
+                ),
+                "mean_latency_ms": round(
+                    mean([float(row["mean_latency_ms"]) for row in cell_rows]), 3
+                ),
+                "mean_messages": round(
+                    mean([float(row["messages"]) for row in cell_rows]), 1
+                ),
+            }
+            if scenario.name != self.spec.baseline_name:
+                cell["vs_baseline"] = two_prop_ztest(
+                    successes, trials, baseline_successes, baseline_trials
+                ).as_dict()
+            cells.append(cell)
+        return cells
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    jsonl_path: str | None = None,
+    csv_path: str | None = None,
+    on_row: Callable[[dict[str, object]], None] | None = None,
+) -> ExperimentResult:
+    """Build and run an experiment in one call (the programmatic API)."""
+    return Experiment(spec).run(jsonl_path=jsonl_path, csv_path=csv_path, on_row=on_row)

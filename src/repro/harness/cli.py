@@ -62,6 +62,37 @@ SCENARIOS: dict[str, ScaleoutSpec] = {
         name="broadcast-baseline", topology="scale-free", peers=500,
         workload="garage-sale", churn="none", routing="gnutella", queries=20,
     ),
+    # --- adversarial presets (repro.workloads.adversarial) ----------------- #
+    # Zipf-skewed query popularity: a handful of hot queries replayed often.
+    "zipf-hotspot": ScaleoutSpec(
+        name="zipf-hotspot", topology="small-world", peers=200,
+        workload="garage-sale", churn="none", queries=20, query_mix="zipf",
+    ),
+    # Flash crowd: the tail of the workload collapses onto one hot query.
+    "flash-crowd": ScaleoutSpec(
+        name="flash-crowd", topology="small-world", peers=200,
+        workload="garage-sale", churn="none", queries=20, query_mix="flash-crowd",
+    ),
+    # Free riders forward mutant plans but never evaluate them locally.
+    "free-riders": ScaleoutSpec(
+        name="free-riders", topology="small-world", peers=200,
+        workload="garage-sale", churn="none", queries=20, free_rider_fraction=0.3,
+    ),
+    # Stale catalogs: a slice of peers crashed at t~0, catalogs never told.
+    "stale-catalog": ScaleoutSpec(
+        name="stale-catalog", topology="small-world", peers=200,
+        workload="garage-sale", churn="none", queries=20, catalog_mode="stale",
+    ),
+    # Lying catalogs: registrations advertise swapped interest areas.
+    "lying-catalog": ScaleoutSpec(
+        name="lying-catalog", topology="small-world", peers=200,
+        workload="garage-sale", churn="none", queries=20, catalog_mode="lying",
+    ),
+    # Correlated regional failures: whole namespace regions fail together.
+    "regional-outage": ScaleoutSpec(
+        name="regional-outage", topology="hierarchical", peers=200,
+        workload="garage-sale", churn="regional", queries=20,
+    ),
 }
 
 
@@ -144,13 +175,24 @@ def _list_options() -> str:
     lines.append(f"Churn profiles:  {', '.join(sorted(CHURN_PROFILES))}")
     lines.append(f"Routing:         {', '.join(ROUTING_KINDS)}")
     lines.append(f"Transports:      {', '.join(TRANSPORT_KINDS)}")
+    lines.append("Subcommands:     experiment (scenario x seed x repeat grids; "
+                 "`repro experiment --help`)")
     return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    ``repro experiment ...`` dispatches to the experiment-matrix subcommand
+    (:mod:`repro.experiments.cli`); everything else is the single-run parser.
+    """
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "experiment":
+        from ..experiments.cli import main as experiment_main
+
+        return experiment_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     if args.list_options:
         print(_list_options())
         return 0

@@ -124,14 +124,21 @@ def build_mqp_scenario(
     workload: GarageSaleWorkload,
     latency: LatencyModel | None = None,
     online_registration: bool = False,
+    seed: int | None = None,
 ) -> MQPScenario:
     """Stand up the paper's architecture over a garage-sale workload.
 
     One base server per seller, one authoritative index server per state
     (``[country/state, *]``), one meta-index server covering everything,
     and one client seeded with the meta-index server only.
+
+    ``seed``, when given, seeds the latency model's per-link jitter (unless
+    an explicit ``latency`` already carries its own seed), making two
+    same-seed builds bit-identical end to end.
     """
     namespace = workload.namespace
+    if latency is None and seed is not None:
+        latency = LatencyModel(seed=seed)
     cluster = Cluster(namespace=namespace, latency=latency)
 
     base_servers = []
@@ -169,15 +176,30 @@ def run_mqp_queries(
     queries: list[QuerySpec],
     preferences: QueryPreferences | None = None,
     include_price: bool = False,
+    seed: int | None = None,
 ) -> dict[str, float]:
-    """Issue a batch of queries from the scenario's client and summarize metrics."""
+    """Issue a batch of queries from the scenario's client and summarize metrics.
+
+    ``seed``, when given, assigns explicit deterministic query ids
+    (``q<seed>-<index>``).  Without it, ids come from a process-global
+    counter, whose width depends on how many queries ran earlier in the
+    process — and id width leaks into serialized plan sizes, hence into
+    byte counts and transfer latencies.  Seeded batches are therefore
+    bit-identical run to run; unseeded batches are not.
+    """
     session = scenario.cluster.session(scenario.client.address)
-    for query in queries:
+    for index, query in enumerate(queries):
         expected = scenario.workload.ground_truth_count(
             query.area, query.max_price if include_price else None
         )
         plan = query_plan_for(query, session.address, include_price=include_price)
-        session.submit(plan, preferences or QueryPreferences(), expected_answers=expected)
+        query_id = f"q{seed}-{index:03d}" if seed is not None else None
+        session.submit(
+            plan,
+            preferences or QueryPreferences(),
+            expected_answers=expected,
+            query_id=query_id,
+        )
         scenario.cluster.run_until_idle()
     return scenario.network.metrics.summary()
 

@@ -9,11 +9,22 @@ pasted into Markdown code blocks.
 
 from __future__ import annotations
 
+import csv
 import json
 import pathlib
-from typing import Mapping, Sequence
+from typing import IO, Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "format_series", "format_summary", "to_json", "write_json_report"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_summary",
+    "to_json",
+    "write_json_report",
+    "jsonl_line",
+    "write_jsonl",
+    "write_csv",
+    "RowLog",
+]
 
 
 def _render(value: object, precision: int) -> str:
@@ -88,3 +99,100 @@ def write_json_report(path: str | pathlib.Path, payload: Mapping[str, object]) -
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(to_json(payload), encoding="utf-8")
     return target
+
+
+# --------------------------------------------------------------------------- #
+# Streaming row logs (JSONL / CSV) for the experiment matrix
+# --------------------------------------------------------------------------- #
+
+
+def jsonl_line(row: Mapping[str, object]) -> str:
+    """One JSONL line: compact, insertion-ordered, deterministic."""
+    return json.dumps(row, sort_keys=False, separators=(", ", ": "), default=str)
+
+
+def write_jsonl(path: str | pathlib.Path, rows: Iterable[Mapping[str, object]]) -> pathlib.Path:
+    """Write rows as JSON Lines, creating parent directories as needed."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(jsonl_line(row) + "\n")
+    return target
+
+
+def write_csv(
+    path: str | pathlib.Path,
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> pathlib.Path:
+    """Write rows as CSV; columns default to the first row's keys."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames = list(columns) if columns is not None else (list(rows[0].keys()) if rows else [])
+    with target.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(dict(row))
+    return target
+
+
+class RowLog:
+    """Streams rows to JSONL and/or CSV as they are produced.
+
+    An experiment grid can run for hours; a crash half-way must not lose
+    the completed runs.  Every :meth:`append` writes and flushes one JSONL
+    line (and one CSV row when a column set was given) before returning.
+    """
+
+    def __init__(
+        self,
+        jsonl_path: str | pathlib.Path | None = None,
+        csv_path: str | pathlib.Path | None = None,
+        csv_columns: Sequence[str] | None = None,
+    ) -> None:
+        self.rows: list[Mapping[str, object]] = []
+        self._jsonl: IO[str] | None = None
+        self._csv_handle: IO[str] | None = None
+        self._csv_writer: csv.DictWriter | None = None
+        if jsonl_path is not None:
+            target = pathlib.Path(jsonl_path)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            self._jsonl = target.open("w", encoding="utf-8")
+        if csv_path is not None:
+            if csv_columns is None:
+                raise ValueError("csv_path requires csv_columns (CSV headers lead the file)")
+            target = pathlib.Path(csv_path)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            self._csv_handle = target.open("w", encoding="utf-8", newline="")
+            self._csv_writer = csv.DictWriter(
+                self._csv_handle, fieldnames=list(csv_columns), extrasaction="ignore"
+            )
+            self._csv_writer.writeheader()
+
+    def append(self, row: Mapping[str, object]) -> None:
+        """Record one row, flushing it to every attached sink."""
+        self.rows.append(row)
+        if self._jsonl is not None:
+            self._jsonl.write(jsonl_line(row) + "\n")
+            self._jsonl.flush()
+        if self._csv_writer is not None and self._csv_handle is not None:
+            self._csv_writer.writerow(dict(row))
+            self._csv_handle.flush()
+
+    def close(self) -> None:
+        """Close every attached sink.  Idempotent."""
+        if self._jsonl is not None:
+            self._jsonl.close()
+            self._jsonl = None
+        if self._csv_handle is not None:
+            self._csv_handle.close()
+            self._csv_handle = None
+            self._csv_writer = None
+
+    def __enter__(self) -> "RowLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

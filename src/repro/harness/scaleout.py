@@ -52,6 +52,18 @@ from ..workloads import (
     GeneExpressionWorkload,
     QueryWorkload,
 )
+from ..workloads.adversarial import (
+    CATALOG_MODES,
+    QUERY_MIXES,
+    FlashCrowdSchedule,
+    flash_crowd_schedule,
+    lying_area_swaps,
+    poison_catalog,
+    select_free_riders,
+    stale_crash_set,
+    zipf_query_ranks,
+)
+from ..workloads.distributions import make_rng
 from ..xmlmodel import XMLElement
 from .experiment import item_cell, query_plan_for
 
@@ -92,6 +104,13 @@ class ScaleoutSpec:
     query_interval_ms: float = 400.0
     prefer: str = "complete"
     max_hops: int = 48
+    # Adversarial knobs (repro.workloads.adversarial).  At their defaults
+    # the scenario is the cooperative one and reports stay byte-identical
+    # to pre-adversarial builds (the defaults are elided from the report's
+    # scenario block — see _scenario_dict).
+    query_mix: str = "steady"
+    free_rider_fraction: float = 0.0
+    catalog_mode: str = "honest"
 
     def validate(self) -> None:
         """Fail fast on values the builders cannot honour."""
@@ -109,6 +128,20 @@ class ScaleoutSpec:
             raise SimulationError("scale-out scenarios need at least 4 peers")
         if self.queries < 1:
             raise SimulationError("at least one query is required")
+        if self.query_mix not in QUERY_MIXES:
+            raise SimulationError(
+                f"unknown query mix {self.query_mix!r}: use one of {QUERY_MIXES}"
+            )
+        if self.catalog_mode not in CATALOG_MODES:
+            raise SimulationError(
+                f"unknown catalog mode {self.catalog_mode!r}: use one of {CATALOG_MODES}"
+            )
+        if not 0.0 <= self.free_rider_fraction <= 1.0:
+            raise SimulationError(
+                f"free_rider_fraction must be in [0, 1], got {self.free_rider_fraction}"
+            )
+        if self.free_rider_fraction > 0.0 and self.routing != "mqp":
+            raise SimulationError("free riders are an MQP-routing adversary")
 
 
 @dataclass
@@ -155,6 +188,11 @@ class ScaleoutScenario:
     meta_index: QueryPeer | None = None
     napster_index: NapsterIndexServer | None = None
     registrations: int = 0
+    # Adversarial state (populated when the spec's knobs are non-default):
+    flash_schedule: FlashCrowdSchedule | None = None
+    free_riders: list[str] = field(default_factory=list)
+    stale_crashed: list[str] = field(default_factory=list)
+    poisoned_entries: int = 0
 
     @property
     def total_peers(self) -> int:
@@ -415,13 +453,90 @@ def build_scaleout_scenario(
     else:
         _build_napster_network(spec, scenario)
 
+    _apply_adversary(spec, scenario)
+
     profile = CHURN_PROFILES[spec.churn]
     if profile.churn_fraction > 0.0:
         churned = [peer.address for peer in data_peers]
         scenario.churn_plan = cluster.schedule_churn(
-            churned, profile, window_ms=spec.churn_window_ms, seed=spec.seed + 2
+            churned,
+            profile,
+            window_ms=spec.churn_window_ms,
+            seed=spec.seed + 2,
+            regions=_regions_of(scenario) if profile.correlated else None,
         )
     return scenario
+
+
+# --------------------------------------------------------------------------- #
+# Adversarial workloads (repro.workloads.adversarial)
+# --------------------------------------------------------------------------- #
+
+
+def _regions_of(scenario: ScaleoutScenario) -> dict[str, str]:
+    """Address → region key, for correlated churn.
+
+    Both built-in namespaces concentrate their meaningful fan-out at depth 2
+    of the first dimension (states, major clades) — the same grouping the
+    authoritative index servers use — so that prefix is the natural blast
+    radius of a correlated failure.
+    """
+    regions: dict[str, str] = {}
+    for peer in scenario.data_peers:
+        prefix: tuple[str, ...] = ()
+        for cell in peer.area:
+            segments = cell.coordinate(0).segments
+            if len(segments) >= 2:
+                prefix = tuple(segments[:2])
+                break
+        regions[peer.address] = "/".join(prefix) if prefix else "?"
+    return regions
+
+
+def _apply_adversary(spec: ScaleoutSpec, scenario: ScaleoutScenario) -> None:
+    """Apply the spec's adversarial knobs to the built scenario.
+
+    Each knob draws from its own derived seed so switching one adversary on
+    never perturbs another's decisions (the cells of an experiment grid stay
+    comparable across knob combinations).
+    """
+    addresses = [peer.address for peer in scenario.data_peers]
+
+    if spec.query_mix == "zipf":
+        ranks = zipf_query_ranks(
+            make_rng(spec.seed + 4), len(scenario.queries), spec.queries
+        )
+        scenario.queries = [scenario.queries[rank] for rank in ranks]
+    elif spec.query_mix == "flash-crowd":
+        scenario.flash_schedule = flash_crowd_schedule(
+            make_rng(spec.seed + 4),
+            spec.queries,
+            len(scenario.queries),
+            start_ms=0.0,  # relative to the schedule start; resolved on issue
+            interval_ms=spec.query_interval_ms,
+        )
+        scenario.queries = [
+            scenario.queries[rank] for rank in scenario.flash_schedule.ranks
+        ]
+
+    if spec.free_rider_fraction > 0.0:
+        scenario.free_riders = select_free_riders(
+            make_rng(spec.seed + 5), addresses, spec.free_rider_fraction
+        )
+        for address in scenario.free_riders:
+            scenario.cluster.session(address).peer.processor.free_ride = True
+
+    if spec.catalog_mode == "stale":
+        scenario.stale_crashed = stale_crash_set(make_rng(spec.seed + 6), addresses)
+        for address in scenario.stale_crashed:
+            # Silent death before the first query, with every catalog entry
+            # left in place: the network routes on stale authority.
+            scenario.network.node(address).go_offline()
+    elif spec.catalog_mode == "lying":
+        swaps = lying_area_swaps(make_rng(spec.seed + 7), addresses)
+        scenario.poisoned_entries = sum(
+            poison_catalog(peer.catalog, swaps) for peer in scenario.cluster.peers()
+        )
 
 
 def _issue_mqp_query(scenario: ScaleoutScenario, query: _Query, label: str) -> str:
@@ -496,7 +611,12 @@ def schedule_queries(scenario: ScaleoutScenario) -> list[str]:
     query_ids: list[str] = []
     start = network.now
     for position, query in enumerate(scenario.queries):
-        at = start + position * spec.query_interval_ms
+        if scenario.flash_schedule is not None:
+            # Flash crowds keep their own cadence: steady background load,
+            # then the burst members packed into the burst window.
+            at = start + scenario.flash_schedule.times_ms[position]
+        else:
+            at = start + position * spec.query_interval_ms
         label = f"{spec.name}-q{position}"
 
         def fire(query=query, label=label) -> None:
@@ -504,6 +624,25 @@ def schedule_queries(scenario: ScaleoutScenario) -> list[str]:
 
         network.schedule_at(at, fire)
     return query_ids
+
+
+_ADVERSARY_DEFAULTS = {
+    "query_mix": "steady",
+    "free_rider_fraction": 0.0,
+    "catalog_mode": "honest",
+}
+"""Spec fields elided from the report when at their cooperative defaults.
+
+Flag-off reports thereby stay byte-identical to pre-adversarial builds (the
+same invariant the transport layer keeps across backends)."""
+
+
+def _scenario_dict(spec: ScaleoutSpec) -> dict[str, object]:
+    return {
+        key: value
+        for key, value in asdict(spec).items()
+        if key not in _ADVERSARY_DEFAULTS or value != _ADVERSARY_DEFAULTS[key]
+    }
 
 
 def _report(scenario: ScaleoutScenario, query_ids: list[str]) -> dict[str, object]:
@@ -530,7 +669,7 @@ def _report(scenario: ScaleoutScenario, query_ids: list[str]) -> dict[str, objec
         )
 
     report: dict[str, object] = {
-        "scenario": asdict(spec),
+        "scenario": _scenario_dict(spec),
         "population": {
             "data_peers": len(scenario.data_peers),
             "index_servers": len(scenario.index_servers),
@@ -561,4 +700,25 @@ def _report(scenario: ScaleoutScenario, query_ids: list[str]) -> dict[str, objec
             "batches": sum(peer.batches_processed for peer in peers),
             "eval_memo_hits": sum(peer.processor.eval_memo_hits for peer in peers),
         }
+
+    if (
+        scenario.free_riders
+        or scenario.stale_crashed
+        or scenario.poisoned_entries
+        or scenario.flash_schedule is not None
+        or spec.query_mix != "steady"
+    ):
+        adversary: dict[str, object] = {
+            "query_mix": spec.query_mix,
+            "free_riders": len(scenario.free_riders),
+            "stale_crashes": len(scenario.stale_crashed),
+            "poisoned_entries": scenario.poisoned_entries,
+        }
+        if scenario.flash_schedule is not None:
+            adversary["burst"] = {
+                "size": scenario.flash_schedule.burst_size,
+                "at_ms": round(scenario.flash_schedule.burst_at_ms, 3),
+                "width_ms": scenario.flash_schedule.burst_width_ms,
+            }
+        report["adversary"] = adversary
     return report

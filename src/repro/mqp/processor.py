@@ -111,6 +111,11 @@ class MQPProcessor:
         self.processed_plans = 0
         self.batches_processed = 0
         self.eval_memo_hits = 0
+        self.subplans_evaluated = 0
+        # Free riders (adversarial workloads) route and forward like any
+        # peer but never contribute answers: local data stays invisible to
+        # plans passing through, and no sub-plan is ever evaluated here.
+        self.free_ride = False
 
     # ------------------------------------------------------------------ #
     # Local data availability
@@ -125,6 +130,8 @@ class MQPProcessor:
         self.collections[path] = list(items)
 
     def _is_local_url(self, leaf: URLRef) -> bool:
+        if self.free_ride:
+            return False  # a free rider's data never resolves into a plan
         if canonical_address(leaf.url) != self._canonical_address:
             return False
         return leaf.path is None or self.has_collection(leaf.path)
@@ -389,6 +396,11 @@ class MQPProcessor:
     def _optimize_and_evaluate(
         self, mqp: MutantQueryPlan, now: float, context: BatchContext | None = None
     ) -> int:
+        if self.free_ride:
+            # Forward-only peers skip the whole optimize/evaluate stage:
+            # nothing is reduced, no provenance is added, the plan moves on
+            # exactly as it arrived.
+            return 0
         outcome = self.optimizer.optimize(mqp.plan, self._leaf_available)
         if outcome.fired_rules:
             mqp.provenance.add(
@@ -423,6 +435,7 @@ class MQPProcessor:
             evaluated += 1
         if flags.eager_area_plans and self._is_bare_union_plan(mqp):
             evaluated += self._pin_local_leaves(mqp, now)
+        self.subplans_evaluated += evaluated
         return evaluated
 
     @staticmethod

@@ -90,6 +90,7 @@ class FailureInjector:
         profile: "ChurnProfile | str",
         window_ms: tuple[float, float] = (100.0, 4_000.0),
         seed: int = 13,
+        regions: "dict[str, str] | None" = None,
     ) -> "ChurnPlan":
         """Schedule a full churn plan over ``addresses``.
 
@@ -99,6 +100,12 @@ class FailureInjector:
         fraction of the churned peers rejoin after their outage via
         ``go_online`` — for :class:`~repro.peers.peer.QueryPeer` that
         triggers registration re-propagation.
+
+        A *correlated* profile fails whole regions at once: ``regions`` maps
+        each address to a region key, victims are chosen region-by-region
+        (seeded) until the profile's churn fraction is covered, and every
+        victim of one region fails inside that region's narrow outage
+        window — a rack, a metro uplink, an AS path going dark together.
         """
         if isinstance(profile, str):
             try:
@@ -109,21 +116,65 @@ class FailureInjector:
                     f"expected one of {', '.join(sorted(CHURN_PROFILES))}"
                 ) from None
         rng = np.random.default_rng(seed)
-        count = int(round(len(addresses) * profile.churn_fraction))
-        chosen = sorted(rng.choice(addresses, size=count, replace=False)) if count else []
         events: list[ChurnEvent] = []
-        for address in chosen:
-            graceful = bool(rng.random() < profile.graceful_fraction)
-            rejoins = bool(rng.random() < profile.rejoin_fraction)
-            fail_at = float(rng.uniform(*window_ms))
-            recover_at = (
-                fail_at + float(rng.uniform(*profile.outage_ms)) if rejoins else None
-            )
-            events.append(ChurnEvent(address, "leave" if graceful else "crash", fail_at, recover_at))
+        if profile.correlated and regions:
+            events = self._correlated_events(addresses, profile, window_ms, rng, regions)
+        else:
+            count = int(round(len(addresses) * profile.churn_fraction))
+            chosen = sorted(rng.choice(addresses, size=count, replace=False)) if count else []
+            for address in chosen:
+                graceful = bool(rng.random() < profile.graceful_fraction)
+                rejoins = bool(rng.random() < profile.rejoin_fraction)
+                fail_at = float(rng.uniform(*window_ms))
+                recover_at = (
+                    fail_at + float(rng.uniform(*profile.outage_ms)) if rejoins else None
+                )
+                events.append(
+                    ChurnEvent(address, "leave" if graceful else "crash", fail_at, recover_at)
+                )
         plan = ChurnPlan(profile=profile, events=events)
         for event in plan.events:
             self._schedule_churn_event(event)
         return plan
+
+    def _correlated_events(
+        self,
+        addresses: list[str],
+        profile: "ChurnProfile",
+        window_ms: tuple[float, float],
+        rng: np.random.Generator,
+        regions: dict[str, str],
+    ) -> "list[ChurnEvent]":
+        """Regional failure events: whole regions go dark near-simultaneously."""
+        by_region: dict[str, list[str]] = {}
+        for address in sorted(addresses):
+            by_region.setdefault(regions.get(address, "?"), []).append(address)
+        target = int(round(len(addresses) * profile.churn_fraction))
+        region_order = list(by_region)
+        rng.shuffle(region_order)
+        events: list[ChurnEvent] = []
+        victims = 0
+        for region in region_order:
+            if victims >= target:
+                break
+            members = by_region[region]
+            # The region's epicenter: every member fails within a tight
+            # spread around it (the correlated signature), not uniformly
+            # across the whole scenario window.
+            epicenter = float(rng.uniform(*window_ms))
+            spread_ms = profile.regional_spread_ms
+            for address in members:
+                graceful = bool(rng.random() < profile.graceful_fraction)
+                rejoins = bool(rng.random() < profile.rejoin_fraction)
+                fail_at = epicenter + float(rng.uniform(0.0, spread_ms))
+                recover_at = (
+                    fail_at + float(rng.uniform(*profile.outage_ms)) if rejoins else None
+                )
+                events.append(
+                    ChurnEvent(address, "leave" if graceful else "crash", fail_at, recover_at)
+                )
+            victims += len(members)
+        return events
 
     def _schedule_churn_event(self, event: "ChurnEvent") -> None:
         node = self.network.node(event.address)
@@ -145,6 +196,10 @@ class ChurnProfile:
     ``graceful_fraction`` leave politely (unregistering) while the rest
     crash silently, and ``rejoin_fraction`` come back after an outage drawn
     uniformly from ``outage_ms``.
+
+    ``correlated`` profiles fail whole regions together: victims are chosen
+    region-by-region (given a region mapping) and each region's members all
+    fail within ``regional_spread_ms`` of its epicenter.
     """
 
     name: str
@@ -152,6 +207,8 @@ class ChurnProfile:
     graceful_fraction: float = 0.5
     rejoin_fraction: float = 0.8
     outage_ms: tuple[float, float] = (500.0, 2_000.0)
+    correlated: bool = False
+    regional_spread_ms: float = 50.0
 
     def __post_init__(self) -> None:
         for fraction in (self.churn_fraction, self.graceful_fraction, self.rejoin_fraction):
@@ -199,6 +256,18 @@ CHURN_PROFILES = {
         graceful_fraction=0.3,
         rejoin_fraction=0.6,
         outage_ms=(1_000.0, 5_000.0),
+    ),
+    # Correlated regional failure: whole populated regions (states, clades)
+    # go dark near-simultaneously — mostly crashes, slow recovery.  The
+    # adversarial counterpart of "moderate": same order of victim count,
+    # zero independence between them.
+    "regional": ChurnProfile(
+        "regional",
+        churn_fraction=0.2,
+        graceful_fraction=0.1,
+        rejoin_fraction=0.5,
+        outage_ms=(2_000.0, 6_000.0),
+        correlated=True,
     ),
 }
 """Named churn intensities selectable from the experiment CLI."""

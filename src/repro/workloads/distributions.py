@@ -7,20 +7,43 @@ exactly reproducible from its parameters.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Sequence, TypeVar
 
 import numpy as np
 
 from ..errors import WorkloadError
 
-__all__ = ["zipf_weights", "zipf_choice", "make_rng"]
+__all__ = [
+    "zipf_weights",
+    "zipf_choice",
+    "zipf_rank_sequence",
+    "make_rng",
+    "recent_seeds",
+    "clear_recent_seeds",
+]
 
 T = TypeVar("T")
+
+# The seeds most recently handed to make_rng, so a failing test can name the
+# exact RNGs that shaped its scenario (the suite's conftest prints them).
+_RECENT_SEEDS: deque[int] = deque(maxlen=16)
 
 
 def make_rng(seed: int) -> np.random.Generator:
     """A seeded generator (one per workload object, never shared globally)."""
+    _RECENT_SEEDS.append(int(seed))
     return np.random.default_rng(seed)
+
+
+def recent_seeds() -> list[int]:
+    """The seeds of the generators created most recently (oldest first)."""
+    return list(_RECENT_SEEDS)
+
+
+def clear_recent_seeds() -> None:
+    """Reset the seed registry (test isolation)."""
+    _RECENT_SEEDS.clear()
 
 
 def zipf_weights(count: int, skew: float = 1.0) -> np.ndarray:
@@ -52,3 +75,23 @@ def zipf_choice(
     if size is None:
         return items[int(indexes)]
     return [items[int(index)] for index in np.atleast_1d(indexes)]
+
+
+def zipf_rank_sequence(
+    rng: np.random.Generator, count: int, length: int, skew: float = 1.0
+) -> list[int]:
+    """Draw ``length`` rank indexes in ``[0, count)`` with Zipf popularity.
+
+    The adversarial query mixes replay a fixed pool of distinct queries with
+    skewed popularity — rank 0 is the hottest.  Returning plain indexes (not
+    the items) lets callers replay *any* kind of pooled object: query specs,
+    interest areas, peer addresses.
+    """
+    if length < 0:
+        raise WorkloadError("zipf_rank_sequence needs length >= 0")
+    if count < 1:
+        raise WorkloadError("zipf_rank_sequence needs count >= 1")
+    if length == 0:
+        return []
+    weights = zipf_weights(count, skew)
+    return [int(index) for index in rng.choice(count, size=length, p=weights)]

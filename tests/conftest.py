@@ -1,11 +1,59 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus flaky-test hardening hooks.
+
+``REPRO_TEST_ORDER`` reorders collection to smoke out order-dependent
+tests: ``reverse`` runs the suite backwards, ``shuffle`` (or
+``shuffle:<seed>``) runs a seeded random permutation.  CI runs the tier-1
+suite both ways.  Every failing test also gets a ``repro seeds`` section
+naming the RNG seeds its scenario consumed, so a flake reproduces from the
+failure output alone.
+"""
 
 from __future__ import annotations
+
+import os
+import random
 
 import pytest
 
 from repro.namespace import garage_sale_namespace, gene_expression_namespace
+from repro.workloads.distributions import clear_recent_seeds, recent_seeds
 from repro.xmlmodel import XMLElement, element, text_element
+
+
+def pytest_collection_modifyitems(config, items):
+    """Honor REPRO_TEST_ORDER=reverse|shuffle[:seed] for order-dependence hunts."""
+    order = os.environ.get("REPRO_TEST_ORDER", "")
+    if not order:
+        return
+    if order == "reverse":
+        items.reverse()
+    elif order.startswith("shuffle"):
+        seed = int(order.split(":", 1)[1]) if ":" in order else 0
+        random.Random(seed).shuffle(items)
+    else:
+        raise pytest.UsageError(
+            f"REPRO_TEST_ORDER must be 'reverse' or 'shuffle[:seed]', got {order!r}"
+        )
+
+
+@pytest.fixture(autouse=True)
+def _fresh_seed_registry():
+    """Scope the harness seed registry to one test."""
+    clear_recent_seeds()
+    yield
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Attach the harness RNG seeds to every failed-test report."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and report.failed:
+        seeds = recent_seeds()
+        if seeds:
+            report.sections.append(
+                ("repro seeds", f"make_rng seeds consumed (oldest first): {seeds}")
+            )
 
 
 @pytest.fixture()

@@ -245,9 +245,16 @@ class TestPruneIsolation:
 
 class TestChurnSchedules:
     def test_profiles_exist_and_scale(self):
-        assert set(CHURN_PROFILES) == {"none", "light", "moderate", "heavy"}
+        assert set(CHURN_PROFILES) == {"none", "light", "moderate", "heavy", "regional"}
         assert CHURN_PROFILES["none"].churn_fraction == 0.0
         assert CHURN_PROFILES["light"].churn_fraction < CHURN_PROFILES["heavy"].churn_fraction
+        # The regional profile is the only correlated one: whole regions fail
+        # together instead of independent peers.
+        assert CHURN_PROFILES["regional"].correlated
+        assert all(
+            not profile.correlated
+            for name, profile in CHURN_PROFILES.items() if name != "regional"
+        )
 
     def test_schedule_churn_is_deterministic(self, namespace):
         def plan_for_seed(seed):
