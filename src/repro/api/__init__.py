@@ -27,6 +27,9 @@ Four classes carry the model:
   :class:`~repro.algebra.plan.QueryPlan` trees the MQP machinery consumes
   (with a raw-plan escape hatch);
 * :class:`QueryHandle` — a future-like result: ``result(timeout=...)``,
+  ``result(deadline=...)`` (graceful degradation to a
+  :class:`DegradedResult` carrying the best partial answer, a completeness
+  annotation, and per-hop delivery-failure provenance),
   ``partial_results()``, ``done()``, iteration over streamed partials,
   per-item streaming via ``items()`` (chunk-by-chunk when
   ``repro.perf.flags.streaming_results`` is on), and ``cancel()`` —
@@ -43,7 +46,7 @@ from ..errors import APIError, PeerOffline, QueryCancelled, QueryTimeout
 from ..mqp import QueryPreferences
 from ..peers import QueryResult
 from .cluster import Cluster
-from .handle import QueryHandle
+from .handle import DegradedResult, QueryHandle
 from .query import QueryBuilder
 from .session import Session
 
@@ -53,6 +56,7 @@ __all__ = [
     "QueryBuilder",
     "QueryHandle",
     "QueryResult",
+    "DegradedResult",
     "QueryPreferences",
     "APIError",
     "QueryTimeout",

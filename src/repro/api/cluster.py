@@ -30,6 +30,7 @@ from ..network import (
     ChurnPlan,
     ChurnProfile,
     FailureInjector,
+    FaultPlan,
     LatencyModel,
     Network,
     NetworkNode,
@@ -67,6 +68,7 @@ class Cluster:
         notify_unreachable: bool = False,
         unreachable_delay_ms: float = 5.0,
         topology: Topology | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if transport is None:
             transport = build_transport("sim")
@@ -77,6 +79,7 @@ class Cluster:
             notify_unreachable=notify_unreachable,
             unreachable_delay_ms=unreachable_delay_ms,
             transport=transport,
+            faults=faults,
         )
         self.namespace = namespace
         self.topology = topology

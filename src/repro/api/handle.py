@@ -16,16 +16,42 @@ whether messages travel by reference or over real sockets.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
-from ..errors import PeerOffline, QueryCancelled, QueryTimeout
+from ..errors import APIError, PeerOffline, QueryCancelled, QueryTimeout
 from ..peers.peer import QueryPeer, QueryResult
 from ..xmlmodel import XMLElement
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from ..network import Network, QueryTrace
 
-__all__ = ["QueryHandle"]
+__all__ = ["DegradedResult", "QueryHandle"]
+
+
+@dataclass
+class DegradedResult(QueryResult):
+    """The best available answer when a deadline or retry budget ran out.
+
+    Returned by ``QueryHandle.result(deadline=...)`` instead of raising
+    :class:`~repro.errors.QueryTimeout`: the items are whatever partial
+    answer (or streamed chunk prefix) had arrived by the deadline, and the
+    annotations say how complete it is and where delivery gave up.
+
+    * ``completeness`` — fraction of the expected answer that arrived
+      (``None`` when no expectation was declared at submit time);
+    * ``reason`` — ``"deadline"`` (the clock ran out with work still
+      scheduled) or ``"idle"`` (the network drained with the answer still
+      missing: the plan or its result died en route);
+    * ``failures`` — per-hop delivery-failure provenance gathered by the
+      reliable-delivery protocol (empty with ``flags.reliable_delivery``
+      off): each record names the hop that gave up, the unresponsive peer,
+      the message kind, and the attempts spent.
+    """
+
+    completeness: float | None = None
+    reason: str = "deadline"
+    failures: list[dict] = field(default_factory=list)
 
 
 class QueryHandle:
@@ -131,7 +157,9 @@ class QueryHandle:
 
     # -- waiting (drives the shared clock) ---------------------------------- #
 
-    def result(self, timeout: float | None = None) -> QueryResult:
+    def result(
+        self, timeout: float | None = None, deadline: float | None = None
+    ) -> QueryResult:
         """Run the network until the answer arrives and return it.
 
         ``timeout`` is a budget in *simulated* milliseconds from now.  The
@@ -146,9 +174,23 @@ class QueryHandle:
           dead-lettered at its sender, never silently lost);
         * the deadline passes, or the network goes idle empty-handed —
           :class:`~repro.errors.QueryTimeout`.
+
+        ``deadline`` (mutually exclusive with ``timeout``) is the same
+        budget with graceful-degradation semantics: instead of raising
+        :class:`~repro.errors.QueryTimeout` when the budget or the retry
+        budgets are exhausted, the best partial answer is returned as a
+        :class:`DegradedResult` annotated with completeness and per-hop
+        failure provenance, and the query's remaining upstream traffic is
+        cancelled along the forwarding chain.  Only
+        :class:`~repro.errors.PeerOffline` still raises — with the issuer
+        gone there is no answer, partial or otherwise, to degrade to.
         """
         if self._cancelled:
             raise QueryCancelled(f"query {self.query_id!r} was cancelled")
+        if deadline is not None:
+            if timeout is not None:
+                raise APIError("pass either timeout= or deadline=, not both")
+            return self._result_or_degrade(deadline)
         self._ensure_watching()
         deadline = self._network.now + timeout if timeout is not None else None
         self._network.run_until(self._has_final, until=deadline)
@@ -301,6 +343,56 @@ class QueryHandle:
             self._peer.unwatch_chunks(self.query_id, on_chunk)
 
     # -- internals ----------------------------------------------------------- #
+
+    def _result_or_degrade(self, budget: float) -> QueryResult:
+        """The ``result(deadline=...)`` path: degrade gracefully, never time out."""
+        self._ensure_watching()
+        self._network.run_until(self._has_final, until=self._network.now + budget)
+        if self._final is not None:
+            return self._final
+        if not self._peer.online:
+            self.close()
+            raise PeerOffline(
+                f"peer {self._peer.address} went offline before the result of "
+                f"query {self.query_id!r} arrived; results addressed to it are "
+                "dead-lettered at their sender"
+            )
+        reason = "idle" if self._idle() else "deadline"
+        best = self._arrivals[-1] if self._arrivals else None
+        if best is not None:
+            items = list(best.items)
+            hops = best.provenance_hops
+            staleness = best.max_staleness_minutes
+        else:
+            # No full partial frame landed, but streamed chunks may have:
+            # an in-flight chunked delivery's prefix is still an answer.
+            items = self._peer.chunk_items(self.query_id)
+            hops = 0
+            staleness = 0.0
+        failures = [
+            dict(record)
+            for record in self._peer.delivery_failures.get(self.query_id, ())
+        ]
+        expected = self.expected_answers
+        completeness = min(1.0, len(items) / expected) if expected else None
+        self.close()
+        # Stop the upstream work: the deadline consumed this query's value,
+        # so in-flight plan copies, open result streams, and pending
+        # retransmissions are torn down along the forwarding chain.  The
+        # handle itself is not marked cancelled — the degraded answer stays
+        # inspectable.
+        self._peer.cancel_query(self.query_id)
+        return DegradedResult(
+            query_id=self.query_id,
+            items=items,
+            partial=True,
+            received_at=self._network.now,
+            provenance_hops=hops,
+            max_staleness_minutes=staleness,
+            completeness=completeness,
+            reason=reason,
+            failures=failures,
+        )
 
     def _has_final(self) -> bool:
         return self._final is not None

@@ -32,7 +32,35 @@ from ..network import TRANSPORT_KINDS
 from ..harness.report import format_table, write_json_report
 from .grid import ExperimentSpec, run_experiment
 
-__all__ = ["build_parser", "main"]
+__all__ = ["EXPERIMENT_PRESETS", "build_parser", "main"]
+
+
+_RECOVERY_LOSS_GRID = (0.0, 0.05, 0.10, 0.20, 0.30)
+
+
+def _recovery_curve_scenarios() -> tuple:
+    """Completeness vs. link-loss grid: the reliable protocol's recovery curve.
+
+    Five cells sweep the per-link loss probability from 0% to 30% over the
+    ``lossy-links`` preset (retries on throughout); the 0%-loss cell is the
+    natural baseline the z-tests compare against.  The statistics layer is
+    untouched — loss rate is just another scenario axis.
+    """
+    from ..harness.cli import SCENARIOS  # late import: harness.cli dispatches to us
+
+    base = SCENARIOS["lossy-links"]
+    return tuple(
+        replace(base, name=f"loss-{int(round(loss * 100)):02d}", fault_loss=loss)
+        for loss in _RECOVERY_LOSS_GRID
+    )
+
+
+EXPERIMENT_PRESETS = {
+    "recovery-curve": _recovery_curve_scenarios,
+}
+"""Named experiment grids (``repro experiment --preset <name>``): each maps
+to a scenario tuple builder, so presets can derive cells from the single-run
+registry without import-time cycles."""
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scenarios", default="smoke,free-riders",
                         help="comma-separated scenario preset names "
                              "(see `repro --list`; default: smoke,free-riders)")
+    parser.add_argument("--preset", choices=sorted(EXPERIMENT_PRESETS), default=None,
+                        help="named experiment grid (overrides --scenarios); "
+                             "e.g. recovery-curve sweeps completeness vs. link "
+                             "loss 0-30%% with reliable delivery on")
     parser.add_argument("--seeds", default="11,17,23",
                         help="comma-separated base seeds (default: 11,17,23)")
     parser.add_argument("--repeats", type=int, default=3,
@@ -74,24 +106,29 @@ def _spec_from_args(args: argparse.Namespace) -> ExperimentSpec:
     """Resolve preset names and overrides into a validated grid spec."""
     from ..harness.cli import SCENARIOS  # late import: harness.cli dispatches to us
 
-    names = [name.strip() for name in args.scenarios.split(",") if name.strip()]
-    unknown = [name for name in names if name not in SCENARIOS]
-    if unknown:
-        raise ReproError(
-            f"unknown scenario preset(s) {unknown}; see `repro --list` for choices"
-        )
     overrides = {
         key: value
         for key, value in {"peers": args.peers, "queries": args.queries}.items()
         if value is not None
     }
-    scenarios = tuple(replace(SCENARIOS[name], **overrides) for name in names)
+    if args.preset is not None:
+        cells = EXPERIMENT_PRESETS[args.preset]()
+        scenarios = tuple(replace(cell, **overrides) for cell in cells)
+        names = [cell.name for cell in scenarios]
+    else:
+        names = [name.strip() for name in args.scenarios.split(",") if name.strip()]
+        unknown = [name for name in names if name not in SCENARIOS]
+        if unknown:
+            raise ReproError(
+                f"unknown scenario preset(s) {unknown}; see `repro --list` for choices"
+            )
+        scenarios = tuple(replace(SCENARIOS[name], **overrides) for name in names)
     try:
         seeds = tuple(int(token) for token in args.seeds.split(",") if token.strip())
     except ValueError as error:
         raise ReproError(f"--seeds must be comma-separated integers: {error}") from error
     return ExperimentSpec(
-        name=args.name or "x".join(names),
+        name=args.name or args.preset or "x".join(names),
         scenarios=scenarios,
         seeds=seeds,
         repeats=args.repeats,

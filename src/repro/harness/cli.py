@@ -93,6 +93,25 @@ SCENARIOS: dict[str, ScaleoutSpec] = {
         name="regional-outage", topology="hierarchical", peers=200,
         workload="garage-sale", churn="regional", queries=20,
     ),
+    # --- resilience presets (repro.network.faults + reliable delivery) ------ #
+    # Every link drops 10% of its frames; the delivery protocol retries.
+    "lossy-links": ScaleoutSpec(
+        name="lossy-links", topology="small-world", peers=120,
+        workload="garage-sale", churn="none", queries=12,
+        fault_loss=0.10, reliable=True,
+    ),
+    # A timed bipartite cut mid-run; traffic re-flows once it heals.
+    "partition-heal": ScaleoutSpec(
+        name="partition-heal", topology="small-world", peers=120,
+        workload="garage-sale", churn="none", queries=12,
+        fault_partition=(800.0, 2_400.0), reliable=True,
+    ),
+    # Loss + duplication + reordering at once: the ack/dedupe stress test.
+    "ack-storm": ScaleoutSpec(
+        name="ack-storm", topology="small-world", peers=120,
+        workload="garage-sale", churn="none", queries=12,
+        fault_loss=0.15, fault_duplicate=0.15, fault_reorder=0.2, reliable=True,
+    ),
 }
 
 
@@ -129,6 +148,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="per-plan MQP processing (the pre-scale-out path)")
     parser.add_argument("--prefer", choices=("complete", "current", "fast"), default=None,
                         help="query preference of paper §4.3 (default: complete)")
+    reliability = parser.add_mutually_exclusive_group()
+    reliability.add_argument("--reliable", dest="reliable", action="store_true",
+                             default=None,
+                             help="per-hop acks + retransmission for query traffic "
+                                  "(default: off, fire-and-forget)")
+    reliability.add_argument("--no-reliable", dest="reliable", action="store_false",
+                             help="fire-and-forget delivery (override a preset)")
+    parser.add_argument("--fault-loss", type=float, default=None, metavar="P",
+                        help="per-link frame loss probability in [0, 1) (default: 0)")
+    parser.add_argument("--fault-duplicate", type=float, default=None, metavar="P",
+                        help="per-link duplication probability (default: 0)")
+    parser.add_argument("--fault-delay", type=float, default=None, metavar="P",
+                        help="per-link delay-spike probability (default: 0)")
+    parser.add_argument("--fault-reorder", type=float, default=None, metavar="P",
+                        help="per-link reordering probability (default: 0)")
+    parser.add_argument("--fault-partition", type=float, nargs=2, default=None,
+                        metavar=("START_MS", "END_MS"),
+                        help="timed bipartite partition window in simulated ms")
     parser.add_argument("--output", default=None,
                         help="JSON report path (default: reports/<name>.json)")
     parser.add_argument("--list", action="store_true", dest="list_options",
@@ -150,6 +187,14 @@ def _spec_from_args(args: argparse.Namespace) -> ScaleoutSpec:
             "seed": args.seed,
             "batch": args.batch,
             "prefer": args.prefer,
+            "reliable": args.reliable,
+            "fault_loss": args.fault_loss,
+            "fault_duplicate": args.fault_duplicate,
+            "fault_delay": args.fault_delay,
+            "fault_reorder": args.fault_reorder,
+            "fault_partition": (
+                tuple(args.fault_partition) if args.fault_partition is not None else None
+            ),
         }.items()
         if value is not None
     }
@@ -215,6 +260,13 @@ def main(argv: list[str] | None = None) -> int:
     print(format_summary(report["traffic"], title="traffic"))
     if "processing" in report:
         print(format_summary(report["processing"], title="mqp processing"))
+    if "resilience" in report:
+        counters = {
+            key: value
+            for key, value in report["resilience"].items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        print(format_summary(counters, title="resilience"))
     print(f"report written to {path} ({elapsed:.1f}s wall clock)")
     return 0
 

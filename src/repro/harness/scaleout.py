@@ -20,6 +20,7 @@ consumer of the same surface external callers use.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
 from typing import Callable
 
@@ -36,6 +37,7 @@ from ..namespace import (
 from ..network import (
     CHURN_PROFILES,
     ChurnPlan,
+    FaultPlan,
     LatencyModel,
     Network,
     TOPOLOGY_KINDS,
@@ -43,6 +45,7 @@ from ..network import (
     Transport,
     build_topology,
 )
+from ..perf import overrides
 from ..peers import QueryPeer
 from ..routing import GnutellaPeer, NapsterIndexServer, NapsterPeer, RoutingIndexPeer
 from ..workloads import (
@@ -111,6 +114,31 @@ class ScaleoutSpec:
     query_mix: str = "steady"
     free_rider_fraction: float = 0.0
     catalog_mode: str = "honest"
+    # Resilience knobs (repro.network.faults + flags.reliable_delivery).
+    # Defaults keep the network fault-free and fire-and-forget — and are
+    # elided from the report, preserving pre-resilience byte-identity.
+    reliable: bool = False
+    fault_loss: float = 0.0
+    fault_duplicate: float = 0.0
+    fault_delay: float = 0.0
+    fault_reorder: float = 0.0
+    fault_partition: tuple[float, float] | None = None
+
+    def fault_plan(self) -> FaultPlan:
+        """The seeded link-fault plan this spec describes.
+
+        Derived seed ``seed + 8`` continues the adversary convention: fault
+        decisions never perturb churn, latency, or adversary draws, so grid
+        cells stay comparable across knob combinations.
+        """
+        return FaultPlan(
+            seed=self.seed + 8,
+            loss=self.fault_loss,
+            duplicate=self.fault_duplicate,
+            delay=self.fault_delay,
+            reorder=self.fault_reorder,
+            partition=self.fault_partition,
+        )
 
     def validate(self) -> None:
         """Fail fast on values the builders cannot honour."""
@@ -142,6 +170,11 @@ class ScaleoutSpec:
             )
         if self.free_rider_fraction > 0.0 and self.routing != "mqp":
             raise SimulationError("free riders are an MQP-routing adversary")
+        self.fault_plan().validate()
+        if self.reliable and self.routing != "mqp":
+            raise SimulationError(
+                "reliable delivery is the MQP stack's protocol; baselines are fire-and-forget"
+            )
 
 
 @dataclass
@@ -429,12 +462,14 @@ def build_scaleout_scenario(
 
     # Failure detection (and therefore plan rerouting) is an MQP capability;
     # the baselines experience churn as silent message loss.
+    fault_plan = spec.fault_plan()
     cluster = Cluster(
         transport if transport is not None else "sim",
         namespace=namespace,
         latency=LatencyModel(seed=spec.seed),
         notify_unreachable=(spec.routing == "mqp"),
         topology=topology,
+        faults=fault_plan if fault_plan.active else None,
     )
     scenario = ScaleoutScenario(
         spec=spec,
@@ -583,17 +618,22 @@ def run_scaleout(
     coordination authority, so the ``aio`` backend's real sockets change
     wall-clock cost but not the report).
     """
-    scenario = build_scaleout_scenario(spec, transport=transport)
-    with scenario.cluster as cluster:
-        query_ids = schedule_queries(scenario)
-        cluster.run_until_idle()
+    # spec.reliable turns the delivery protocol on for exactly this run:
+    # the flag is process-global, so scoping it here keeps grid cells with
+    # different reliability settings comparable within one process.
+    reliability = overrides(reliable_delivery=True) if spec.reliable else nullcontext()
+    with reliability:
+        scenario = build_scaleout_scenario(spec, transport=transport)
+        with scenario.cluster as cluster:
+            query_ids = schedule_queries(scenario)
+            cluster.run_until_idle()
 
-        for query_id in query_ids:
-            trace = cluster.metrics.trace(query_id)
-            if trace.completed_at is None:
-                trace.completed_at = cluster.now
+            for query_id in query_ids:
+                trace = cluster.metrics.trace(query_id)
+                if trace.completed_at is None:
+                    trace.completed_at = cluster.now
 
-        return _report(scenario, query_ids)
+            return _report(scenario, query_ids)
 
 
 def schedule_queries(scenario: ScaleoutScenario) -> list[str]:
@@ -636,12 +676,25 @@ _ADVERSARY_DEFAULTS = {
 Flag-off reports thereby stay byte-identical to pre-adversarial builds (the
 same invariant the transport layer keeps across backends)."""
 
+_RESILIENCE_DEFAULTS = {
+    "reliable": False,
+    "fault_loss": 0.0,
+    "fault_duplicate": 0.0,
+    "fault_delay": 0.0,
+    "fault_reorder": 0.0,
+    "fault_partition": None,
+}
+"""Resilience spec fields elided at their fault-free defaults — the same
+byte-identity convention as :data:`_ADVERSARY_DEFAULTS`."""
+
+_ELIDED_DEFAULTS = {**_ADVERSARY_DEFAULTS, **_RESILIENCE_DEFAULTS}
+
 
 def _scenario_dict(spec: ScaleoutSpec) -> dict[str, object]:
     return {
         key: value
         for key, value in asdict(spec).items()
-        if key not in _ADVERSARY_DEFAULTS or value != _ADVERSARY_DEFAULTS[key]
+        if key not in _ELIDED_DEFAULTS or value != _ELIDED_DEFAULTS[key]
     }
 
 
@@ -700,6 +753,21 @@ def _report(scenario: ScaleoutScenario, query_ids: list[str]) -> dict[str, objec
             "batches": sum(peer.batches_processed for peer in peers),
             "eval_memo_hits": sum(peer.processor.eval_memo_hits for peer in peers),
         }
+
+    if spec.reliable or network.faults.active:
+        peers = [node for node in network.nodes() if isinstance(node, QueryPeer)]
+        resilience: dict[str, object] = {
+            "reliable": spec.reliable,
+            "faults": network.metrics.fault_summary(),
+            "retries_sent": sum(peer.retries_sent for peer in peers),
+            "transfers_failed": sum(peer.transfers_failed for peer in peers),
+            "duplicates_dropped": sum(peer.duplicates_dropped for peer in peers),
+            "acks_sent": sum(peer.acks_sent for peer in peers),
+            "dead_letters_by_kind": dict(
+                sorted(network.metrics.dead_letters_by_kind.items())
+            ),
+        }
+        report["resilience"] = resilience
 
     if (
         scenario.free_riders

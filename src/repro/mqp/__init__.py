@@ -2,7 +2,13 @@
 
 from .plan import MutantQueryPlan, QueryPreferences
 from .policy import PolicyDecision, PolicyManager
-from .processor import BatchContext, MQPProcessor, ProcessingAction, ProcessingResult
+from .processor import (
+    BatchContext,
+    MQPProcessor,
+    ProcessingAction,
+    ProcessingResult,
+    RetryPolicy,
+)
 from .provenance import ProvenanceAction, ProvenanceLog, ProvenanceRecord
 
 __all__ = [
@@ -17,4 +23,5 @@ __all__ = [
     "BatchContext",
     "ProcessingAction",
     "ProcessingResult",
+    "RetryPolicy",
 ]

@@ -35,7 +35,50 @@ from .plan import MutantQueryPlan
 from .policy import PolicyManager
 from .provenance import ProvenanceAction
 
-__all__ = ["ProcessingAction", "ProcessingResult", "BatchContext", "MQPProcessor"]
+__all__ = [
+    "ProcessingAction",
+    "ProcessingResult",
+    "BatchContext",
+    "MQPProcessor",
+    "RetryPolicy",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a peer retransmits unacknowledged forwards (``flags.reliable_delivery``).
+
+    The paper's forwarding step is fire-and-forget; under injected link
+    faults (:mod:`repro.network.faults`) a lost MQP silently kills the
+    query.  With reliable delivery on, every MQP and result envelope a peer
+    forwards carries a transfer id the receiver acknowledges; this policy
+    decides when the sender gives up waiting and retransmits.
+
+    Timeouts live on the *logical* clock and the jitter draw is a stable
+    hash of (transfer, attempt) — never wall-clock or ``random`` — so the
+    retransmit schedule is identical on every transport backend.  After
+    ``budget`` retransmissions without an ack the transfer fails: the peer
+    records per-hop failure provenance and falls back to rerouting (plans)
+    or dead-lettering (results).
+    """
+
+    timeout_ms: float = 160.0
+    backoff: float = 2.0
+    jitter_ms: float = 24.0
+    budget: int = 4
+
+    def delay_for(self, transfer: str, attempt: int) -> float:
+        """Simulated ms to wait for the ack of ``attempt`` before retrying."""
+        from ..network.faults import stable_unit
+
+        return (
+            self.timeout_ms * (self.backoff ** attempt)
+            + self.jitter_ms * stable_unit("retry", transfer, attempt)
+        )
+
+    def exhausted(self, attempts: int) -> bool:
+        """True once ``attempts`` retransmissions have already been spent."""
+        return attempts >= self.budget
 
 
 class ProcessingAction(str, Enum):

@@ -8,6 +8,7 @@ from .failures import (
     FailureEvent,
     FailureInjector,
 )
+from .faults import FaultInjector, FaultOutcome, FaultPlan, stable_unit
 from .latency import LatencyModel
 from .message import Message
 from .metrics import NetworkMetrics, QueryTrace
@@ -58,6 +59,10 @@ __all__ = [
     "star_topology",
     "FailureInjector",
     "FailureEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultOutcome",
+    "stable_unit",
     "ChurnProfile",
     "ChurnEvent",
     "ChurnPlan",

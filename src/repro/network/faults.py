@@ -1,0 +1,169 @@
+"""Deterministic link-fault injection: loss, duplication, delay, partitions.
+
+The churn model (:mod:`repro.network.failures`) can only express a whole
+peer dying; a frame on a *live* link can never be lost, duplicated, or
+delayed beyond the latency model.  This module adds that missing failure
+vocabulary as a seeded :class:`FaultPlan` — per-link loss probability,
+duplication, delay spikes, reordering windows, and timed bipartite
+partitions — applied at a single injection seam in
+:meth:`repro.network.network.Network.send` (the step that arranges the
+``_deliver`` callback), identically for the ``sim`` and ``aio`` transports.
+
+Determinism is the point (the reproducibility studies in PAPERS.md are the
+cautionary reference): every fault decision is a pure function of the plan
+seed and the per-link message ordinal, drawn through a keyed BLAKE2 hash —
+never from transport state, wall-clock time, or Python's per-process hash
+randomization.  Both backends drive the same logical schedule, so the same
+ordinals come up in the same order and the same frames are lost on both —
+which is what keeps scenario reports byte-equivalent across backends even
+under active faults.
+
+A :class:`FaultInjector` holds the per-link ordinals for one network; plans
+themselves are frozen configuration and safe to share across runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from hashlib import blake2b
+
+from ..errors import SimulationError
+from .message import Message
+
+__all__ = ["FaultPlan", "FaultInjector", "FaultOutcome", "stable_unit"]
+
+_UNIT_DENOMINATOR = float(1 << 64)
+
+
+def stable_unit(*parts: object) -> float:
+    """A deterministic draw in ``[0, 1)`` keyed on ``parts``.
+
+    Stable across processes and Python versions (unlike ``hash()``, which is
+    randomized per process): the retry-jitter and fault draws both route
+    through here so the same seed always produces the same schedule.
+    """
+    digest = blake2b("\x1f".join(str(part) for part in parts).encode(), digest_size=8)
+    return int.from_bytes(digest.digest(), "big") / _UNIT_DENOMINATOR
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded link-fault configuration (frozen; state lives in the injector).
+
+    Probabilities are per message crossing a link.  ``delay_ms`` is the
+    spike magnitude added when a delay fault fires; ``reorder_window_ms``
+    is how long a reordered message is held back (letting later traffic
+    overtake it).  ``partition`` is a timed bipartite cut: the population
+    hashes into two sides and messages crossing the cut during
+    ``[start, end)`` are dropped — the partition heals at ``end``.
+    """
+
+    seed: int = 0
+    loss: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_ms: float = 250.0
+    reorder: float = 0.0
+    reorder_window_ms: float = 80.0
+    partition: tuple[float, float] | None = None
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The inactive plan: every knob off, nothing intercepted."""
+        return cls()
+
+    @property
+    def active(self) -> bool:
+        """True when any fault kind can actually fire."""
+        return bool(
+            self.loss or self.duplicate or self.delay or self.reorder
+            or self.partition is not None
+        )
+
+    def validate(self) -> None:
+        """Fail fast on values the injector cannot honour."""
+        for name in ("loss", "duplicate", "delay", "reorder"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise SimulationError(
+                    f"fault probability {name} must be in [0, 1), got {value}"
+                )
+        if self.delay_ms < 0.0 or self.reorder_window_ms < 0.0:
+            raise SimulationError("fault delays must be non-negative")
+        if self.partition is not None:
+            start, end = self.partition
+            if not 0.0 <= start < end:
+                raise SimulationError(
+                    f"partition window must satisfy 0 <= start < end, got {self.partition}"
+                )
+
+    def side_of(self, address: str) -> int:
+        """Which side of the bipartite cut ``address`` lives on (0 or 1)."""
+        return int(stable_unit(self.seed, "side", address) * 2)
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """What the injector decided for one message.
+
+    ``delays`` carries one delivery delay per copy that should still travel
+    (empty when the message was lost or partitioned; two entries when it
+    was duplicated).
+    """
+
+    delays: tuple[float, ...]
+    lost: bool = False
+    partitioned: bool = False
+    duplicated: bool = False
+    delayed: bool = False
+    reordered: bool = False
+
+
+@dataclass
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to one network's traffic.
+
+    Owns the per-link message ordinals the deterministic draws are keyed
+    on — one injector per :class:`~repro.network.network.Network`, so a
+    plan object can be reused across runs (and across transports) without
+    decisions leaking from one run into the next.
+    """
+
+    plan: FaultPlan
+    _ordinals: Counter = field(default_factory=Counter)
+
+    def intercept(self, message: Message, delay: float, now: float) -> FaultOutcome:
+        """Decide the fate of ``message``; ``delay`` is the modelled latency."""
+        plan = self.plan
+        link = (message.sender, message.recipient)
+        ordinal = self._ordinals[link]
+        self._ordinals[link] = ordinal + 1
+
+        if plan.partition is not None:
+            start, end = plan.partition
+            if start <= now < end and (
+                plan.side_of(message.sender) != plan.side_of(message.recipient)
+            ):
+                return FaultOutcome(delays=(), lost=True, partitioned=True)
+
+        def draw(kind: str) -> float:
+            return stable_unit(plan.seed, kind, link[0], link[1], ordinal)
+
+        if plan.loss and draw("loss") < plan.loss:
+            return FaultOutcome(delays=(), lost=True)
+
+        delayed = bool(plan.delay) and draw("delay") < plan.delay
+        if delayed:
+            delay += plan.delay_ms
+        reordered = bool(plan.reorder) and draw("reorder") < plan.reorder
+        if reordered:
+            # Held back within the window: traffic sent later overtakes it.
+            delay += plan.reorder_window_ms * stable_unit(
+                plan.seed, "window", link[0], link[1], ordinal
+            )
+        duplicated = bool(plan.duplicate) and draw("duplicate") < plan.duplicate
+        delays = (delay, delay) if duplicated else (delay,)
+        return FaultOutcome(
+            delays=delays, duplicated=duplicated, delayed=delayed, reordered=reordered
+        )

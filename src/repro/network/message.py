@@ -19,6 +19,12 @@ class Message:
     ``result``, ...); ``payload`` is an arbitrary Python object (usually an
     XML string for MQPs, or small dataclasses for control traffic);
     ``size_bytes`` is what the latency model charges for the transfer.
+
+    ``transfer`` and ``attempt`` are the reliable-delivery envelope
+    (``flags.reliable_delivery``): a non-``None`` transfer id asks the
+    receiver to acknowledge the delivery and to deduplicate retransmitted
+    attempts of the same transfer.  Both stay at their defaults on every
+    fire-and-forget message, so the flag-off wire behaviour is unchanged.
     """
 
     sender: str
@@ -29,6 +35,8 @@ class Message:
     message_id: int = field(default_factory=lambda: next(_message_counter))
     sent_at: float = 0.0
     hop: int = 0
+    transfer: str | None = None
+    attempt: int = 0
 
     def __post_init__(self) -> None:
         self.size_bytes = max(1, int(self.size_bytes))

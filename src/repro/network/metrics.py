@@ -11,8 +11,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from .message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .faults import FaultOutcome
 
 __all__ = ["NetworkMetrics", "QueryTrace"]
 
@@ -64,6 +68,18 @@ class NetworkMetrics:
     messages_by_sender: Counter = field(default_factory=Counter)
     traces: dict[str, QueryTrace] = field(default_factory=dict)
     dropped_messages: int = 0
+    # Fault-injection accounting (repro.network.faults).  All zero — and
+    # absent from summary() — when no FaultPlan is active, so flag-off
+    # reports stay byte-identical to pre-fault builds.
+    fault_losses_by_kind: Counter = field(default_factory=Counter)
+    fault_partitioned: int = 0
+    fault_duplicates: int = 0
+    fault_delays: int = 0
+    fault_reorders: int = 0
+    # Dead-letter accounting: undeliverable messages a peer retained for
+    # inspection, broken down by kind.  Counts survive buffer eviction
+    # (the per-peer buffers are capped), so they stay exact on long runs.
+    dead_letters_by_kind: Counter = field(default_factory=Counter)
 
     def record_send(self, message: Message) -> None:
         """Account for one message entering the network."""
@@ -76,6 +92,37 @@ class NetworkMetrics:
     def record_drop(self, message: Message) -> None:
         """Account for a message that could not be delivered."""
         self.dropped_messages += 1
+
+    def record_fault(self, message: Message, outcome: "FaultOutcome") -> None:
+        """Account for an injected link fault (loss, duplication, delay)."""
+        if outcome.partitioned:
+            self.fault_partitioned += 1
+        elif outcome.lost:
+            self.fault_losses_by_kind[message.kind] += 1
+        if outcome.duplicated:
+            self.fault_duplicates += 1
+        if outcome.delayed:
+            self.fault_delays += 1
+        if outcome.reordered:
+            self.fault_reorders += 1
+
+    def record_dead_letter(self, message: Message) -> None:
+        """Account for a message a peer dead-lettered, by kind."""
+        self.dead_letters_by_kind[message.kind] += 1
+
+    def fault_summary(self) -> dict[str, object]:
+        """The injected-fault block of a scenario report (deterministic order)."""
+        return {
+            "lost": int(sum(self.fault_losses_by_kind.values())),
+            "lost_by_kind": {
+                kind: int(count)
+                for kind, count in sorted(self.fault_losses_by_kind.items())
+            },
+            "partitioned": self.fault_partitioned,
+            "duplicated": self.fault_duplicates,
+            "delayed": self.fault_delays,
+            "reordered": self.fault_reorders,
+        }
 
     # -- per-query traces ---------------------------------------------------- #
 

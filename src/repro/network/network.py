@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..errors import SimulationError
+from .faults import FaultInjector, FaultPlan
 from .latency import LatencyModel
 from .message import Message
 from .metrics import NetworkMetrics
@@ -39,6 +40,7 @@ class Network:
         notify_unreachable: bool = False,
         unreachable_delay_ms: float = 5.0,
         transport: Transport | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if transport is None:
             transport = SimTransport(simulator)
@@ -50,6 +52,12 @@ class Network:
         self.metrics = NetworkMetrics()
         self.notify_unreachable = notify_unreachable
         self.unreachable_delay_ms = unreachable_delay_ms
+        self.faults = faults or FaultPlan.none()
+        self.faults.validate()
+        # The injector holds the per-link ordinals the seeded draws key on;
+        # it is per-network, so a FaultPlan can be shared across runs (and
+        # across transport backends) without decisions bleeding between them.
+        self._fault_injector = FaultInjector(self.faults) if self.faults.active else None
         self._nodes: dict[str, "NetworkNode"] = {}
 
     # -- clock ---------------------------------------------------------------- #
@@ -113,7 +121,20 @@ class Network:
     # -- delivery -------------------------------------------------------------- #
 
     def send(self, message: Message) -> None:
-        """Queue a message for delivery after the modelled network delay."""
+        """Queue a message for delivery after the modelled network delay.
+
+        This is the single fault-injection seam: when a
+        :class:`~repro.network.faults.FaultPlan` is active, the seeded
+        injector decides here — before the transport is involved — whether
+        the message is lost, duplicated, delayed, or held back.  Both
+        backends route every send through this method and the decisions are
+        pure functions of the plan seed and per-link ordinals, so the same
+        frames meet the same fate on ``sim`` and ``aio`` and reports stay
+        byte-equivalent under active faults.  An injected loss is *silent*
+        (no ``peer-unreachable`` notice): unlike a dead peer, a lossy link
+        gives the sender nothing to detect — recovery is the reliable
+        delivery protocol's job (``flags.reliable_delivery``).
+        """
         message.sent_at = self.now
         self.metrics.record_send(message)
         if message.recipient not in self._nodes:
@@ -122,7 +143,33 @@ class Network:
         delay = self.latency.delivery_delay(
             message.sender, message.recipient, message.size_bytes
         )
-        self.transport.send(message, delay)
+        if self._fault_injector is None:
+            self.transport.send(message, delay)
+            return
+        outcome = self._fault_injector.intercept(message, delay, self.now)
+        self.metrics.record_fault(message, outcome)
+        for position, fault_delay in enumerate(outcome.delays):
+            if position == 0:
+                self.transport.send(message, fault_delay)
+            else:
+                # A duplicated copy is a distinct frame on the wire: it gets
+                # its own message id so real transports pair each logical
+                # delivery with its own physical frame.  The payload is
+                # shared — receivers treat payloads as read-only.
+                self.transport.send(
+                    Message(
+                        sender=message.sender,
+                        recipient=message.recipient,
+                        kind=message.kind,
+                        payload=message.payload,
+                        size_bytes=message.size_bytes,
+                        sent_at=message.sent_at,
+                        hop=message.hop,
+                        transfer=message.transfer,
+                        attempt=message.attempt,
+                    ),
+                    fault_delay,
+                )
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.recipient)
@@ -150,6 +197,12 @@ class Network:
             return
         self.metrics.record_drop(message)
         if not self.notify_unreachable:
+            return
+        if self.transport.closed:
+            # Teardown: a notice scheduled now would land on a closing
+            # transport whose drive loop will never run it (and a later
+            # ``run`` call would fail on a closed backend).  The drop is
+            # still accounted above; the notice is a guarded no-op.
             return
         sender = self._nodes.get(message.sender)
         if sender is None:

@@ -9,6 +9,7 @@ from .message import Message
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from .network import Network
+    from .simulator import Event
 
 __all__ = ["NetworkNode"]
 
@@ -69,8 +70,15 @@ class NetworkNode:
         payload: Any = None,
         size_bytes: int = 256,
         hop: int = 0,
+        transfer: str | None = None,
+        attempt: int = 0,
     ) -> Message:
-        """Send a message through the network fabric."""
+        """Send a message through the network fabric.
+
+        ``transfer``/``attempt`` stamp the reliable-delivery envelope (see
+        :class:`~repro.network.message.Message`); fire-and-forget senders
+        leave them at their defaults.
+        """
         self._require_network()
         message = Message(
             sender=self.address,
@@ -79,15 +87,22 @@ class NetworkNode:
             payload=payload,
             size_bytes=size_bytes,
             hop=hop,
+            transfer=transfer,
+            attempt=attempt,
         )
         self.sent_messages += 1
         self.network.send(message)  # type: ignore[union-attr]
         return message
 
-    def schedule(self, delay: float, callback) -> None:
-        """Schedule local work on the shared logical clock."""
+    def schedule(self, delay: float, callback) -> "Event":
+        """Schedule local work on the shared logical clock.
+
+        Returns the :class:`~repro.network.simulator.Event`, so callers
+        holding state that may become moot (retry timers, detection
+        timeouts) can cancel it instead of guarding the callback.
+        """
         self._require_network()
-        self.network.schedule(delay, callback)  # type: ignore[union-attr]
+        return self.network.schedule(delay, callback)  # type: ignore[union-attr]
 
     def receive(self, message: Message) -> None:
         """Entry point called by the network on delivery."""

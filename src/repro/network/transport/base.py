@@ -61,6 +61,7 @@ class Transport(ABC):
     def __init__(self) -> None:
         self.simulator = Simulator()
         self._network: "Network | None" = None
+        self._closed = False
 
     # -- lifecycle ------------------------------------------------------- #
 
@@ -70,8 +71,20 @@ class Transport(ABC):
             raise SimulationError(f"{self.name} transport is already bound to a network")
         self._network = network
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run; the backend will move no more frames.
+
+        The network consults this during teardown — work that would only
+        ever run on a future drive of a closed backend (for example the
+        ``peer-unreachable`` notice ``Network._drop`` schedules) is skipped
+        instead of being stranded on the clock.
+        """
+        return self._closed
+
     def close(self) -> None:
         """Release backend resources (sockets, tasks, loops). Idempotent."""
+        self._closed = True
 
     def __enter__(self) -> "Transport":
         return self

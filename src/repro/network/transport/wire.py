@@ -67,6 +67,8 @@ def encode_frame(message: Message) -> bytes:
             message.size_bytes,
             message.sent_at,
             message.hop,
+            message.transfer,
+            message.attempt,
             encoding,
             payload,
         ),
@@ -94,6 +96,8 @@ def decode_body(body: bytes) -> Message:
         size_bytes,
         sent_at,
         hop,
+        transfer,
+        attempt,
         encoding,
         payload,
     ) = pickle.loads(body)
@@ -114,4 +118,6 @@ def decode_body(body: bytes) -> Message:
         message_id=message_id,
         sent_at=sent_at,
         hop=hop,
+        transfer=transfer,
+        attempt=attempt,
     )

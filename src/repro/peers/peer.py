@@ -28,11 +28,20 @@ Message kinds understood:
 ``register-ack``
     The index server's acknowledgement, carrying its own entry so the
     registering peer learns about the indexer too.
+``delivery-ack``
+    The reliable-delivery protocol (``flags.reliable_delivery``): the
+    receiver of a transfer-stamped message acknowledges the transfer id,
+    letting the sender cancel its retransmission timer.  Unacknowledged
+    transfers are retransmitted with exponential backoff until the retry
+    budget is exhausted, at which point the sender reroutes (plans),
+    tears down (streams), or dead-letters (results) — and records the
+    failure so issuers can report per-hop delivery provenance.
 """
 
 from __future__ import annotations
 
 import warnings
+from collections import Counter
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import Callable, Iterator, Sequence
@@ -55,9 +64,10 @@ from ..mqp import (
     ProcessingResult,
     ProvenanceAction,
     QueryPreferences,
+    RetryPolicy,
 )
 from ..namespace import InterestArea, MultiHierarchicNamespace
-from ..network import Message, NetworkNode
+from ..network import Event, Message, NetworkNode
 from ..perf import flags
 from ..xmlmodel import XMLElement, parse_xml, serialize_xml
 
@@ -126,6 +136,66 @@ def _insert_capped(
         del entries[oldest]
         if evicted is not None:
             evicted(oldest)
+
+
+@dataclass
+class _PendingTransfer:
+    """Sender-side state of one unacknowledged reliable transfer.
+
+    Lives in ``_pending_transfers`` from first transmission until the
+    delivery ack arrives (or the retry budget is exhausted).  ``attempts``
+    counts retransmissions already sent — the original send is attempt 0 —
+    and ``timer`` is the cancellable retransmission event armed by
+    :meth:`QueryPeer._transmit`.
+    """
+
+    transfer: str
+    recipient: str
+    kind: str
+    payload: object
+    size_bytes: int
+    query_id: str
+    attempts: int = 0
+    timer: Event | None = None
+    last_message: Message | None = None
+
+
+class _DeadLetterBuffer:
+    """Capped, insertion-ordered record of undeliverable messages.
+
+    A long-running relay under churn or faults accumulates dead letters
+    without bound; the buffer retains only the most recent ``cap`` of them
+    (the :func:`_insert_capped` idiom) while ``total`` and the per-kind
+    tallies keep exact counts, so the scenario reports stay accurate even
+    after eviction.  ``len()`` reports the total, not the retained window —
+    existing accounting (and byte-identity of non-evicting runs) depends
+    on that.
+    """
+
+    def __init__(self, cap: int = 1024) -> None:
+        self.cap = cap
+        self.total = 0
+        self.by_kind: Counter[str] = Counter()
+        self._entries: dict[int, Message] = {}
+
+    def append(self, message: Message) -> None:
+        self.total += 1
+        self.by_kind[message.kind] += 1
+        # Keyed by object identity: retained entries hold their references,
+        # so ids stay unique for exactly as long as they are keys.
+        _insert_capped(self._entries, id(message), message, self.cap)
+
+    def __len__(self) -> int:
+        return self.total
+
+    def __bool__(self) -> bool:
+        return self.total > 0
+
+    def __iter__(self) -> Iterator[Message]:
+        return iter(self._entries.values())
+
+    def __getitem__(self, index: int) -> Message:
+        return list(self._entries.values())[index]
 
 
 @dataclass
@@ -203,7 +273,20 @@ class QueryPeer(NetworkNode):
         self.suspected_dead: set[str] = set()
         self.plans_rerouted = 0
         self.plans_lost_in_crash = 0
-        self.dead_letters: list[Message] = []
+        self.dead_letter_memory = 1024
+        self.dead_letters = _DeadLetterBuffer(self.dead_letter_memory)
+        # -- reliable delivery (flags.reliable_delivery) --------------------- #
+        self.retry_policy = RetryPolicy()
+        self.dedupe_memory = 4096
+        self.failure_memory = 1024
+        self._transfer_counter = 0
+        self._pending_transfers: dict[str, _PendingTransfer] = {}
+        self._seen_transfers: dict[str, None] = {}
+        self.retries_sent = 0
+        self.transfers_failed = 0
+        self.duplicates_dropped = 0
+        self.acks_sent = 0
+        self.delivery_failures: dict[str, list[dict]] = {}
         # -- batched processing --------------------------------------------- #
         self.batch_window_ms: float | None = None
         self.batches_processed = 0
@@ -546,6 +629,21 @@ class QueryPeer(NetworkNode):
         if message.kind != "peer-unreachable":
             # Any delivered message proves its sender is alive again.
             self.suspected_dead.discard(message.sender)
+        if message.kind == "delivery-ack":
+            self._handle_delivery_ack(message)
+            return
+        if message.transfer is not None:
+            # At-least-once delivery: acknowledge *every* attempt (the ack
+            # for an earlier attempt may itself have been lost), but process
+            # only the first copy — a retransmitted plan must not be
+            # evaluated twice, a retransmitted chunk not counted twice.
+            self.acks_sent += 1
+            self.send(message.sender, "delivery-ack", message.transfer, size_bytes=32)
+            duplicate = message.transfer in self._seen_transfers
+            _insert_capped(self._seen_transfers, message.transfer, None, self.dedupe_memory)
+            if duplicate:
+                self.duplicates_dropped += 1
+                return
         if message.kind == "mqp":
             self._handle_mqp(message)
         elif message.kind in ("result", "partial-result"):
@@ -638,7 +736,9 @@ class QueryPeer(NetworkNode):
             self.plans_forwarded += 1
             self._remember_forward(mqp.query_id, result.next_hop)
             payload = mqp.serialize()
-            sent = self.send(result.next_hop, "mqp", payload, size_bytes=len(payload))
+            sent = self._send_query_traffic(
+                result.next_hop, "mqp", payload, len(payload), mqp.query_id
+            )
             trace.messages += 1
             trace.bytes += sent.size_bytes
         else:  # STUCK: deliver whatever partial answer exists rather than dropping
@@ -668,6 +768,12 @@ class QueryPeer(NetworkNode):
             "hops": mqp.provenance.hop_count(),
             "staleness": mqp.provenance.max_staleness(),
         }
+        failures = self.delivery_failures.get(mqp.query_id)
+        if failures:
+            # Per-hop failure provenance travels with the answer, so the
+            # issuer can annotate a degraded result with *where* delivery
+            # gave up — not just that something is missing.
+            envelope["failures"] = [dict(record) for record in failures]
         trace = self.network.metrics.trace(mqp.query_id)  # type: ignore[union-attr]
         if target == self.address:
             # Same guards as _handle_result: a duplicate plan copy that goes
@@ -678,7 +784,7 @@ class QueryPeer(NetworkNode):
             ):
                 self._record_result(envelope)
             return
-        sent = self.send(target, kind, envelope, size_bytes=len(payload))
+        sent = self._send_query_traffic(target, kind, envelope, len(payload), mqp.query_id)
         trace.messages += 1
         trace.bytes += sent.size_bytes
 
@@ -743,7 +849,9 @@ class QueryPeer(NetworkNode):
                 "stream": state.stream,
                 "seq": state.seq,
             }
-            sent = self.send(state.target, "result-chunk", envelope, size_bytes=len(payload))
+            sent = self._send_query_traffic(
+                state.target, "result-chunk", envelope, len(payload), query_id
+            )
             trace.messages += 1
             trace.bytes += sent.size_bytes
             state.seq += 1
@@ -759,7 +867,10 @@ class QueryPeer(NetworkNode):
             "hops": state.hops,
             "staleness": state.staleness,
         }
-        sent = self.send(state.target, "result-end", envelope, size_bytes=128)
+        failures = self.delivery_failures.get(query_id)
+        if failures:
+            envelope["failures"] = [dict(record) for record in failures]
+        sent = self._send_query_traffic(state.target, "result-end", envelope, 128, query_id)
         trace.messages += 1
         trace.bytes += sent.size_bytes
         self._open_streams.pop(query_id, None)
@@ -793,6 +904,7 @@ class QueryPeer(NetworkNode):
         self._record_result(message.payload)
 
     def _record_result(self, envelope: dict) -> None:
+        self._absorb_failures(envelope)
         document = parse_xml(envelope["document"])
         self._finalize_result(
             envelope["query_id"],
@@ -888,6 +1000,12 @@ class QueryPeer(NetworkNode):
         assembly = self._assembly_for(query_id, stream)
         items = list(parse_xml(envelope["document"]).children)
         if seq in assembly.pending or seq < assembly.next_seq:
+            if self.network is not None and self.network.faults.active:
+                # An injected duplicate (reliable transfers are deduped
+                # before dispatch, so only fault-cloned frames land here):
+                # drop it rather than double-count the items.
+                self.duplicates_dropped += 1
+                return
             raise PeerError(
                 f"{self.address}: duplicate result-chunk {seq} for query {query_id!r}"
             )
@@ -938,6 +1056,7 @@ class QueryPeer(NetworkNode):
     def _close_assembly(self, query_id: str, assembly: _ChunkAssembly) -> None:
         envelope = assembly.end
         assert envelope is not None
+        self._absorb_failures(envelope)
         self._chunk_assemblies.pop((query_id, assembly.stream), None)
         items = assembly.items
         expected_items = int(envelope.get("items_total", len(items)))
@@ -985,9 +1104,137 @@ class QueryPeer(NetworkNode):
         self._drop_assemblies(query_id)
         self.unwatch_results(query_id)
         self.unwatch_chunks(query_id)
+        for transfer, state in list(self._pending_transfers.items()):
+            if state.query_id == query_id:
+                # The issuer no longer wants the answer: stop retransmitting
+                # its traffic instead of burning the retry budget on it.
+                del self._pending_transfers[transfer]
+                if state.timer is not None:
+                    state.timer.cancel()
         next_hop = self._forwarded_to.pop(query_id, None)
         if next_hop is not None and self.network is not None and self.online:
             self.send(next_hop, "cancel-query", query_id, size_bytes=64)
+
+    # -- reliable delivery (flags.reliable_delivery) --------------------------- #
+
+    def _send_query_traffic(
+        self, recipient: str, kind: str, payload: object, size_bytes: int, query_id: str
+    ) -> Message:
+        """Send query traffic, reliably when ``flags.reliable_delivery`` is on.
+
+        The reliable path stamps the message with a transfer id, remembers
+        it in the retransmit queue, and arms a backoff timer on the logical
+        clock; fire-and-forget behaviour (and wire bytes) are unchanged
+        when the flag is off.  Only query traffic — plans, results, chunks —
+        rides the protocol: registration and control messages stay
+        fire-and-forget, matching the paper's best-effort catalog.
+        """
+        if not flags.reliable_delivery:
+            return self.send(recipient, kind, payload, size_bytes=size_bytes)
+        self._transfer_counter += 1
+        state = _PendingTransfer(
+            transfer=f"{self.address}#{self._transfer_counter}",
+            recipient=recipient,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+            query_id=query_id,
+        )
+        self._pending_transfers[state.transfer] = state
+        return self._transmit(state)
+
+    def _transmit(self, state: _PendingTransfer) -> Message:
+        """(Re)send one pending transfer and arm its retransmission timer."""
+        message = self.send(
+            state.recipient,
+            state.kind,
+            state.payload,
+            size_bytes=state.size_bytes,
+            transfer=state.transfer,
+            attempt=state.attempts,
+        )
+        state.last_message = message
+        state.timer = self.schedule(
+            self.retry_policy.delay_for(state.transfer, state.attempts),
+            lambda: self._retry_transfer(state.transfer),
+        )
+        return message
+
+    def _handle_delivery_ack(self, message: Message) -> None:
+        state = self._pending_transfers.pop(message.payload, None)
+        if state is not None and state.timer is not None:
+            # A late ack (after failure or cancellation) finds no state and
+            # is simply ignored — the protocol is idempotent on both ends.
+            state.timer.cancel()
+
+    def _retry_transfer(self, transfer: str) -> None:
+        state = self._pending_transfers.get(transfer)
+        if state is None:
+            return  # acknowledged (or torn down) before the timer fired
+        if not self.online or self.network is None or state.query_id in self.cancelled_queries:
+            self._pending_transfers.pop(transfer, None)
+            return
+        if self.retry_policy.exhausted(state.attempts):
+            self._pending_transfers.pop(transfer, None)
+            self._transfer_failed(state)
+            return
+        state.attempts += 1
+        self.retries_sent += 1
+        self._transmit(state)
+
+    def _transfer_failed(self, state: _PendingTransfer) -> None:
+        """The retry budget is spent: degrade instead of waiting forever.
+
+        The unresponsive peer is treated exactly like a detected crash —
+        purged from the routing state — and the payload gets the same
+        last-resort handling as an unreachable bounce: plans reroute,
+        streams tear down, results are dead-lettered.  The failure record
+        travels with the (partial) answer so the issuer can report per-hop
+        delivery provenance.
+        """
+        self.transfers_failed += 1
+        self._record_delivery_failure(
+            state.query_id,
+            {
+                "hop": self.address,
+                "peer": state.recipient,
+                "kind": state.kind,
+                "attempts": state.attempts + 1,
+                "at_ms": round(self.now, 3),
+            },
+        )
+        self.suspected_dead.add(state.recipient)
+        self.cache.forget_server(state.recipient)
+        self.catalog.prune_server(state.recipient)
+        if state.kind == "mqp":
+            mqp = MutantQueryPlan.deserialize(state.payload)
+            self._process_and_act(mqp, rerouted=True)
+            return
+        if state.kind in ("result-chunk", "result-end"):
+            envelope: dict = state.payload  # type: ignore[assignment]
+            stream_state = self._open_streams.get(state.query_id)
+            if stream_state is not None and stream_state.stream == envelope.get("stream"):
+                self._teardown_stream(state.query_id)
+        if state.last_message is not None:
+            self._dead_letter(state.last_message)
+
+    def _record_delivery_failure(self, query_id: str, record: dict) -> None:
+        failures = self.delivery_failures.get(query_id)
+        if failures is None:
+            failures = []
+        _insert_capped(self.delivery_failures, query_id, failures, self.failure_memory)
+        if record not in failures and len(failures) < 32:
+            failures.append(record)
+
+    def _absorb_failures(self, envelope: dict) -> None:
+        """Adopt the per-hop failure records a result envelope carries."""
+        for record in envelope.get("failures", ()):
+            self._record_delivery_failure(envelope["query_id"], dict(record))
+
+    def _dead_letter(self, message: Message) -> None:
+        self.dead_letters.append(message)
+        if self.network is not None:
+            self.network.metrics.record_dead_letter(message)
 
     # -- registration handling --------------------------------------------------- #
 
@@ -1037,6 +1284,14 @@ class QueryPeer(NetworkNode):
         self.suspected_dead.add(dead)
         self.cache.forget_server(dead)
         self.catalog.prune_server(dead)
+        transfer = getattr(original, "transfer", None)
+        if transfer is not None:
+            # The bounce already tells us delivery failed: stand the retry
+            # machinery down so the reroute below is not repeated when the
+            # budget runs out later.
+            pending = self._pending_transfers.pop(transfer, None)
+            if pending is not None and pending.timer is not None:
+                pending.timer.cancel()
         if original.kind == "mqp":
             mqp = MutantQueryPlan.deserialize(original.payload)
             self._process_and_act(mqp, rerouted=True)
@@ -1054,7 +1309,7 @@ class QueryPeer(NetworkNode):
         # registrations, acks, unregisters alike.  The previous
         # allowlist silently discarded kinds it did not anticipate,
         # which made failure accounting undercount under churn.
-        self.dead_letters.append(original)
+        self._dead_letter(original)
 
     # ------------------------------------------------------------------ #
 

@@ -53,6 +53,12 @@ class _Flags:
       the plan as verbatim XML, so such plans complete instead of
       ping-ponging between data holders to ``max_hops``.  Off by default
       for the same byte-identity reason.
+    * ``reliable_delivery`` — per-hop delivery acks with retransmission
+      (exponential backoff + deterministic jitter on the logical clock,
+      bounded retry budgets, receiver-side dedupe) for MQP and result
+      traffic vs. the seed's fire-and-forget forwarding.  Off by default:
+      acks and retries are extra wire traffic, and the byte-identity gates
+      compare reports against the fire-and-forget wire behaviour.
     """
 
     __slots__ = (
@@ -64,6 +70,7 @@ class _Flags:
         "streaming_engine",
         "streaming_results",
         "eager_area_plans",
+        "reliable_delivery",
     )
 
     def __init__(self) -> None:
@@ -75,6 +82,7 @@ class _Flags:
         self.streaming_engine = True
         self.streaming_results = False
         self.eager_area_plans = False
+        self.reliable_delivery = False
 
 
 flags = _Flags()

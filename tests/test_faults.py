@@ -1,0 +1,429 @@
+"""Self-healing delivery: fault injection, ack/retry forwarding, degradation.
+
+Covers the resilience contract ``docs/resilience.md`` documents:
+
+* :class:`repro.network.faults.FaultPlan` decisions are pure functions of
+  (seed, link, ordinal) — deterministic across injectors and processes;
+* scenario reports stay byte-equivalent across the ``sim`` and ``aio``
+  backends *under active faults* (loss, duplication, partition-heal);
+* with every knob at its default, reports keep the pre-resilience schema
+  byte-for-byte (no new keys, no elided-field drift);
+* the reliable-delivery protocol (``flags.reliable_delivery``) acks,
+  retransmits with backoff, dedupes at the receiver, and degrades —
+  reroute / teardown / dead-letter — when the retry budget is exhausted;
+* ``QueryHandle.result(deadline=...)`` returns a :class:`DegradedResult`
+  instead of raising :class:`QueryTimeout`;
+* the ``peer-unreachable`` notice is a guarded no-op once the transport
+  has closed, and the dead-letter buffer is capped with exact accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Cluster, DegradedResult
+from repro.errors import SimulationError
+from repro.harness.report import to_json
+from repro.harness.scaleout import ScaleoutSpec, run_scaleout
+from repro.mqp import RetryPolicy
+from repro.namespace import garage_sale_namespace
+from repro.network import (
+    FaultInjector,
+    FaultPlan,
+    Message,
+    Network,
+    stable_unit,
+)
+from repro.perf import flags, overrides
+from tests.conftest import make_item
+from tests.test_api import small_cluster
+
+
+def _message(sender="a:9020", recipient="b:9020", kind="mqp", **kwargs) -> Message:
+    return Message(sender=sender, recipient=recipient, kind=kind, payload="x", **kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# The fault plan: deterministic draws, validation, outcomes
+# --------------------------------------------------------------------------- #
+
+
+class TestFaultPlan:
+    def test_stable_unit_is_deterministic_and_in_range(self):
+        draws = [stable_unit(7, "loss", "a", "b", n) for n in range(64)]
+        assert draws == [stable_unit(7, "loss", "a", "b", n) for n in range(64)]
+        assert all(0.0 <= draw < 1.0 for draw in draws)
+        # Distinct keys give distinct draws (no accidental aliasing between
+        # e.g. ("ab", "c") and ("a", "bc")).
+        assert stable_unit("ab", "c") != stable_unit("a", "bc")
+
+    def test_none_plan_is_inactive(self):
+        assert not FaultPlan.none().active
+        assert FaultPlan(loss=0.1).active
+        assert FaultPlan(partition=(10.0, 20.0)).active
+
+    def test_validate_rejects_bad_values(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(loss=1.0).validate()
+        with pytest.raises(SimulationError):
+            FaultPlan(duplicate=-0.1).validate()
+        with pytest.raises(SimulationError):
+            FaultPlan(delay_ms=-1.0).validate()
+        with pytest.raises(SimulationError):
+            FaultPlan(partition=(20.0, 10.0)).validate()
+        FaultPlan(loss=0.5, partition=(0.0, 10.0)).validate()  # fine
+
+    def test_injectors_replay_the_same_decisions(self):
+        plan = FaultPlan(seed=3, loss=0.3, duplicate=0.2, delay=0.2, reorder=0.2)
+        first = FaultInjector(plan)
+        second = FaultInjector(plan)
+        for ordinal in range(50):
+            message = _message()
+            assert first.intercept(message, 5.0, 0.0) == second.intercept(
+                message, 5.0, 0.0
+            )
+
+    def test_loss_draws_vary_with_the_ordinal(self):
+        injector = FaultInjector(FaultPlan(seed=1, loss=0.5))
+        outcomes = [injector.intercept(_message(), 5.0, 0.0).lost for _ in range(40)]
+        assert any(outcomes) and not all(outcomes)
+
+    def test_duplicate_yields_two_delays(self):
+        injector = FaultInjector(FaultPlan(seed=1, duplicate=0.999))
+        outcome = injector.intercept(_message(), 7.0, 0.0)
+        assert outcome.duplicated and outcome.delays == (7.0, 7.0)
+
+    def test_partition_drops_only_crossing_traffic_during_the_window(self):
+        plan = FaultPlan(seed=2, partition=(100.0, 200.0))
+        sides = {addr: plan.side_of(addr) for addr in (f"p{i}:9020" for i in range(8))}
+        crossing = [a for a in sides if sides[a] != sides["p0:9020"]]
+        same = [a for a in sides if sides[a] == sides["p0:9020"] and a != "p0:9020"]
+        assert crossing and same  # the hash splits a small population too
+        injector = FaultInjector(plan)
+        cut = injector.intercept(_message("p0:9020", crossing[0]), 5.0, 150.0)
+        assert cut.partitioned and cut.lost and cut.delays == ()
+        kept = injector.intercept(_message("p0:9020", same[0]), 5.0, 150.0)
+        assert not kept.lost
+        healed = injector.intercept(_message("p0:9020", crossing[0]), 5.0, 250.0)
+        assert not healed.lost  # the partition healed at end
+
+
+# --------------------------------------------------------------------------- #
+# Backend equivalence under active faults — and flag-off byte-identity
+# --------------------------------------------------------------------------- #
+
+
+FAULT_SPECS = [
+    ScaleoutSpec(name="faults-loss", topology="small-world", peers=24,
+                 workload="garage-sale", churn="none", queries=6, seed=9,
+                 fault_loss=0.25, reliable=True),
+    ScaleoutSpec(name="faults-dup", topology="small-world", peers=24,
+                 workload="garage-sale", churn="none", queries=3, seed=9,
+                 fault_duplicate=0.20, reliable=True),
+    ScaleoutSpec(name="faults-partition", topology="scale-free", peers=30,
+                 workload="garage-sale", churn="none", queries=4, seed=11,
+                 fault_partition=(100.0, 900.0), reliable=True),
+]
+
+PRE_RESILIENCE_SCENARIO_KEYS = {
+    "name", "topology", "peers", "workload", "churn", "routing", "queries",
+    "seed", "batch", "batch_window_ms", "churn_window_ms", "query_interval_ms",
+    "prefer", "max_hops",
+}
+
+
+class TestFaultEquivalence:
+    @pytest.mark.parametrize("spec", FAULT_SPECS, ids=lambda spec: spec.name)
+    def test_reports_byte_identical_across_backends(self, spec):
+        sim_report = run_scaleout(spec, transport="sim")
+        aio_report = run_scaleout(spec, transport="aio")
+        assert to_json(sim_report) == to_json(aio_report)
+        assert sim_report["resilience"]["reliable"] is True
+
+    def test_recovery_under_loss(self):
+        report = run_scaleout(FAULT_SPECS[0])
+        resilience = report["resilience"]
+        assert resilience["faults"]["lost"] > 0
+        assert resilience["retries_sent"] > 0
+        assert report["traffic"]["mean_recall"] == 1.0
+
+    def test_duplicates_are_deduped_not_double_counted(self):
+        report = run_scaleout(FAULT_SPECS[1])
+        resilience = report["resilience"]
+        assert resilience["faults"]["duplicated"] > 0
+        assert resilience["duplicates_dropped"] > 0
+        for row in report["queries"]:
+            assert row["recall"] is None or row["recall"] <= 1.0
+
+    def test_flags_off_report_keeps_the_pre_resilience_schema(self):
+        spec = ScaleoutSpec(name="baseline", topology="small-world", peers=20,
+                            workload="garage-sale", churn="none", queries=3, seed=9)
+        report = run_scaleout(spec)
+        assert set(report) == {
+            "scenario", "population", "topology", "churn", "traffic", "queries",
+            "processing",
+        }
+        assert set(report["scenario"]) == PRE_RESILIENCE_SCENARIO_KEYS
+        # The explicit fault-free plan and the implicit default are the same
+        # run, byte for byte — the elision convention at work.
+        explicit = ScaleoutSpec(name="baseline", topology="small-world", peers=20,
+                                workload="garage-sale", churn="none", queries=3,
+                                seed=9, fault_loss=0.0, reliable=False)
+        assert to_json(run_scaleout(explicit)) == to_json(report)
+        assert "failures" not in to_json(report)
+
+    def test_flags_are_off_by_default(self):
+        assert flags.reliable_delivery is False
+        assert FaultPlan.none() == ScaleoutSpec().fault_plan().__class__.none()
+
+
+# --------------------------------------------------------------------------- #
+# The reliable-delivery protocol: acks, retries, dedupe, failure handling
+# --------------------------------------------------------------------------- #
+
+
+def _result_envelope(query_id: str) -> dict:
+    return {
+        "document": f'<result query-id="{query_id}"/>',
+        "query_id": query_id,
+        "partial": False,
+        "hops": 1,
+        "staleness": 0.0,
+    }
+
+
+class TestReliableDelivery:
+    def test_acks_clear_the_retransmit_queue(self):
+        with overrides(reliable_delivery=True):
+            with small_cluster() as cluster:
+                handle = (
+                    cluster.session("client:9020")
+                    .query()
+                    .area(cluster.namespace.area(["USA/OR/Portland", "Music/CDs"]))
+                    .where("price < 100")
+                    .submit()
+                )
+                result = handle.result(timeout=60_000)
+                assert result.count == 3
+                cluster.run_until_idle()
+                for peer in cluster.peers():
+                    assert peer._pending_transfers == {}
+                assert sum(peer.acks_sent for peer in cluster.peers()) > 0
+                assert sum(peer.retries_sent for peer in cluster.peers()) == 0
+
+    def test_exhausted_budget_dead_letters_results(self):
+        with overrides(reliable_delivery=True):
+            namespace = garage_sale_namespace()
+            with Cluster("sim", namespace=namespace, notify_unreachable=False) as cluster:
+                area = namespace.area(["USA/OR/Portland", "Music/CDs"])
+                sender = cluster.base_server("sender:9020", area).peer
+                receiver = cluster.base_server("receiver:9020", area).peer
+                receiver.go_offline()
+                sender._send_query_traffic(
+                    receiver.address, "result", _result_envelope("q-dead"), 64, "q-dead"
+                )
+                cluster.run_until_idle()
+                assert sender.transfers_failed == 1
+                assert sender.retries_sent == sender.retry_policy.budget
+                assert receiver.address in sender.suspected_dead
+                assert len(sender.dead_letters) == 1
+                assert sender.dead_letters[-1].kind == "result"
+                [record] = sender.delivery_failures["q-dead"]
+                assert record["peer"] == receiver.address
+                assert record["attempts"] == sender.retry_policy.budget + 1
+                assert cluster.network.metrics.dead_letters_by_kind["result"] == 1
+
+    def test_cancel_stops_pending_retransmissions(self):
+        with overrides(reliable_delivery=True):
+            namespace = garage_sale_namespace()
+            with Cluster("sim", namespace=namespace, notify_unreachable=False) as cluster:
+                area = namespace.area(["USA/OR/Portland", "Music/CDs"])
+                sender = cluster.base_server("sender:9020", area).peer
+                receiver = cluster.base_server("receiver:9020", area).peer
+                receiver.go_offline()
+                sender._send_query_traffic(
+                    receiver.address, "result", _result_envelope("q-x"), 64, "q-x"
+                )
+                sender.cancel_query("q-x")
+                assert sender._pending_transfers == {}
+                cluster.run_until_idle()
+                assert sender.transfers_failed == 0
+                assert sender.retries_sent == 0
+
+    def test_receiver_dedupes_and_reacks_every_attempt(self):
+        with overrides(reliable_delivery=True):
+            with small_cluster() as cluster:
+                seller = cluster.session("seller1:9020").peer
+                client = cluster.session("client:9020").peer
+                seller._send_query_traffic(
+                    client.address, "result", _result_envelope("q-dup"), 64, "q-dup"
+                )
+                transfer = next(iter(seller._pending_transfers))
+                # Replay the same transfer as a retransmission would.
+                seller.send(
+                    client.address, "result", _result_envelope("q-dup"),
+                    size_bytes=64, transfer=transfer, attempt=1,
+                )
+                cluster.run_until_idle()
+                assert client.duplicates_dropped == 1
+                assert client.acks_sent == 2  # every attempt is acknowledged
+                assert seller._pending_transfers == {}
+
+    def test_retry_policy_backoff_is_monotone_and_jittered(self):
+        policy = RetryPolicy()
+        delays = [policy.delay_for("t#1", attempt) for attempt in range(policy.budget)]
+        assert delays == sorted(delays)
+        assert delays != [policy.delay_for("t#2", attempt) for attempt in range(policy.budget)]
+        assert policy.exhausted(policy.budget)
+        assert not policy.exhausted(policy.budget - 1)
+
+    def test_fire_and_forget_sends_no_protocol_traffic_when_flag_off(self):
+        with small_cluster() as cluster:
+            handle = (
+                cluster.session("client:9020")
+                .query()
+                .area(cluster.namespace.area(["USA/OR/Portland", "Music/CDs"]))
+                    .where("price < 100")
+                .submit()
+            )
+            handle.result(timeout=60_000)
+            cluster.run_until_idle()
+            for peer in cluster.peers():
+                assert peer.acks_sent == 0
+                assert peer._pending_transfers == {}
+                assert peer._seen_transfers == {}
+
+
+# --------------------------------------------------------------------------- #
+# Graceful degradation: result(deadline=...) and DegradedResult
+# --------------------------------------------------------------------------- #
+
+
+class TestDegradedResults:
+    def test_deadline_returns_degraded_result_instead_of_raising(self):
+        with small_cluster() as cluster:
+            handle = (
+                cluster.session("client:9020")
+                .query()
+                .area(cluster.namespace.area(["USA/OR/Portland", "Music/CDs"]))
+                    .where("price < 100")
+                .expecting(3)
+                .submit()
+            )
+            degraded = handle.result(deadline=0.05)  # far below one-hop latency
+            assert isinstance(degraded, DegradedResult)
+            assert degraded.partial and degraded.reason == "deadline"
+            assert degraded.completeness == 0.0
+            assert degraded.failures == []
+            # The deadline cancelled the upstream work: the query is dead at
+            # the issuer and the network drains without delivering it.
+            client = cluster.session("client:9020").peer
+            assert handle.query_id in client.cancelled_queries
+            cluster.run_until_idle()
+            assert client.results.get(handle.query_id) is None
+
+    def test_complete_answer_before_deadline_is_returned_untouched(self):
+        with small_cluster() as cluster:
+            handle = (
+                cluster.session("client:9020")
+                .query()
+                .area(cluster.namespace.area(["USA/OR/Portland", "Music/CDs"]))
+                    .where("price < 100")
+                .submit()
+            )
+            result = handle.result(deadline=60_000)
+            assert not isinstance(result, DegradedResult)
+            assert result.count == 3 and not result.partial
+
+    def test_deadline_and_timeout_are_mutually_exclusive(self):
+        from repro.api import APIError
+
+        with small_cluster() as cluster:
+            handle = (
+                cluster.session("client:9020")
+                .query()
+                .area(cluster.namespace.area(["USA/OR/Portland", "Music/CDs"]))
+                    .where("price < 100")
+                .submit()
+            )
+            with pytest.raises(APIError):
+                handle.result(timeout=1_000, deadline=1_000)
+            handle.result(timeout=60_000)
+
+    def test_idle_network_degrades_with_reason_idle(self):
+        # Every frame is (deterministically) lost: the plan dies on its
+        # first hop, the network drains, and the deadline path reports the
+        # degradation as "idle" rather than waiting the full budget out.
+        namespace = garage_sale_namespace()
+        plan = FaultPlan(seed=5, loss=0.999999)
+        with Cluster("sim", namespace=namespace, faults=plan) as cluster:
+            area = namespace.area(["USA/OR/Portland", "Music/CDs"])
+            seller = cluster.base_server("seller:9020", area)
+            seller.publish("cds", [make_item("Abbey Road", 8)])
+            cluster.meta_index("meta:9020")
+            cluster.client("client:9020")
+            cluster.connect()
+            handle = cluster.session("client:9020").query().area(area).submit()
+            degraded = handle.result(deadline=120_000)
+            assert isinstance(degraded, DegradedResult)
+            assert degraded.reason == "idle"
+            assert degraded.items == []
+
+
+# --------------------------------------------------------------------------- #
+# Satellites: the closed-transport notice guard and the dead-letter cap
+# --------------------------------------------------------------------------- #
+
+
+class TestUnreachableNoticeAfterClose:
+    def _network_with_offline_target(self) -> tuple[Network, Message]:
+        network = Network(notify_unreachable=True)
+        from repro.network import NetworkNode
+
+        class _Sink(NetworkNode):
+            def handle_message(self, message):  # pragma: no cover - never delivered
+                pass
+
+        sender = _Sink("sender:9020")
+        target = _Sink("target:9020")
+        network.register(sender)
+        network.register(target)
+        target.online = False
+        message = Message(
+            sender="sender:9020", recipient="target:9020", kind="mqp", payload="x"
+        )
+        return network, message
+
+    def test_drop_schedules_the_notice_while_the_transport_is_open(self):
+        network, message = self._network_with_offline_target()
+        network._drop(message)
+        assert network.simulator.peek() is not None  # the notice is scheduled
+
+    def test_drop_is_a_no_op_once_the_transport_closed(self):
+        network, message = self._network_with_offline_target()
+        network.transport.close()
+        assert network.transport.closed
+        network._drop(message)  # must not schedule on a closed transport
+        assert network.simulator.peek() is None
+        assert network.metrics.dropped_messages == 1  # the drop is still counted
+
+
+class TestDeadLetterBuffer:
+    def test_cap_with_exact_accounting(self):
+        with small_cluster() as cluster:
+            peer = cluster.session("seller1:9020").peer
+            peer.dead_letters.cap = 3
+            messages = [
+                Message(sender="x:9020", recipient=peer.address,
+                        kind="result" if position % 2 else "register-ack",
+                        payload=position)
+                for position in range(5)
+            ]
+            for message in messages:
+                peer._dead_letter(message)
+            assert len(peer.dead_letters) == 5  # exact total, not the window
+            assert list(peer.dead_letters) == messages[-3:]  # capped retention
+            assert peer.dead_letters[-1] is messages[-1]
+            assert peer.dead_letters.by_kind == {"register-ack": 3, "result": 2}
+            by_kind = cluster.network.metrics.dead_letters_by_kind
+            assert by_kind["register-ack"] == 3 and by_kind["result"] == 2
