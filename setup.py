@@ -14,7 +14,7 @@ README = ROOT / "README.md"
 
 setup(
     name="repro-p2p-mqp",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Reproduction of 'Distributed Query Processing and Catalogs for "
         "Peer-to-Peer Systems' (CIDR 2003): mutant query plans, "

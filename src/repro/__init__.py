@@ -43,10 +43,10 @@ from . import (
     workloads,
     xmlmodel,
 )
-from .api import Cluster, QueryBuilder, QueryHandle, Session
+from .api import Cluster, DeltaRecord, QueryBuilder, QueryHandle, Session, Subscription
 from .errors import PeerOffline, QueryCancelled, QueryTimeout, ReproError
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -56,6 +56,8 @@ __all__ = [
     "Session",
     "QueryBuilder",
     "QueryHandle",
+    "Subscription",
+    "DeltaRecord",
     # The error roots callers are expected to catch.
     "ReproError",
     "QueryTimeout",

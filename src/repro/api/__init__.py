@@ -21,8 +21,9 @@ Four classes carry the model:
 
 * :class:`Cluster` — context-managed owner of the network, its transport
   backend (``sim`` or ``aio``), topology wiring, and churn schedules;
-* :class:`Session` — a per-peer handle: ``publish(...)``, ``register(...)``,
-  ``query(...)``;
+* :class:`Session` — a per-peer handle carrying the data-lifecycle verbs
+  (``publish`` / ``update`` / ``retract`` / ``announce`` / ``register``)
+  and the query entry points (``query(...)``, ``subscribe(...)``);
 * :class:`QueryBuilder` — fluent construction compiling to the exact
   :class:`~repro.algebra.plan.QueryPlan` trees the MQP machinery consumes
   (with a raw-plan escape hatch);
@@ -37,6 +38,13 @@ Four classes carry the model:
   :class:`~repro.errors.PeerOffline` /
   :class:`~repro.errors.QueryCancelled` instead of ever returning ``None``.
 
+With ``repro.perf.flags.continuous_queries`` on, a query can *stand*
+instead of answering once: ``session.subscribe(...)`` (or the
+``subscribe()`` terminals on :class:`QueryBuilder` / :class:`QueryHandle`)
+returns a :class:`Subscription` whose ``deltas()`` feed the mutation verbs
+``Session.update`` / ``Session.retract`` drive — see
+``docs/subscriptions.md``.
+
 Everything here is transport-agnostic: the same program produces the same
 logical outcome whether messages travel by reference on the deterministic
 simulator or over real localhost TCP sockets.  See ``docs/api.md``.
@@ -44,11 +52,12 @@ simulator or over real localhost TCP sockets.  See ``docs/api.md``.
 
 from ..errors import APIError, PeerOffline, QueryCancelled, QueryTimeout
 from ..mqp import QueryPreferences
-from ..peers import QueryResult
+from ..peers import DeltaRecord, QueryResult
 from .cluster import Cluster
-from .handle import DegradedResult, QueryHandle
+from .handle import DegradedResult, DeliveryFailure, QueryHandle
 from .query import QueryBuilder
 from .session import Session
+from .subscription import AuthorityConflict, Subscription
 
 __all__ = [
     "Cluster",
@@ -57,6 +66,10 @@ __all__ = [
     "QueryHandle",
     "QueryResult",
     "DegradedResult",
+    "DeliveryFailure",
+    "Subscription",
+    "DeltaRecord",
+    "AuthorityConflict",
     "QueryPreferences",
     "APIError",
     "QueryTimeout",

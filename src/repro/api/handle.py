@@ -17,16 +17,36 @@ whether messages travel by reference or over real sockets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterator, List, TypedDict
 
 from ..errors import APIError, PeerOffline, QueryCancelled, QueryTimeout
 from ..peers.peer import QueryPeer, QueryResult
 from ..xmlmodel import XMLElement
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from ..algebra import QueryPlan
     from ..network import Network, QueryTrace
+    from .session import Session
+    from .subscription import Subscription
 
-__all__ = ["DegradedResult", "QueryHandle"]
+__all__ = ["DeliveryFailure", "DegradedResult", "QueryHandle"]
+
+
+class DeliveryFailure(TypedDict):
+    """One hop's delivery-failure provenance record.
+
+    Gathered by the reliable-delivery protocol when a transfer's retry
+    budget runs out: ``hop`` is the peer that gave up, ``peer`` the
+    unresponsive recipient, ``kind`` the message kind that failed,
+    ``attempts`` the sends spent, ``at_ms`` the simulated time of the
+    give-up.
+    """
+
+    hop: str
+    peer: str
+    kind: str
+    attempts: int
+    at_ms: float
 
 
 @dataclass
@@ -45,13 +65,13 @@ class DegradedResult(QueryResult):
       missing: the plan or its result died en route);
     * ``failures`` — per-hop delivery-failure provenance gathered by the
       reliable-delivery protocol (empty with ``flags.reliable_delivery``
-      off): each record names the hop that gave up, the unresponsive peer,
-      the message kind, and the attempts spent.
+      off): each :class:`DeliveryFailure` names the hop that gave up, the
+      unresponsive peer, the message kind, and the attempts spent.
     """
 
     completeness: float | None = None
     reason: str = "deadline"
-    failures: list[dict] = field(default_factory=list)
+    failures: List[DeliveryFailure] = field(default_factory=list)
 
 
 class QueryHandle:
@@ -70,9 +90,13 @@ class QueryHandle:
         network: "Network",
         query_id: str,
         expected_answers: int | None = None,
+        session: "Session | None" = None,
+        plan: "QueryPlan | None" = None,
     ) -> None:
         self._peer = peer
         self._network = network
+        self._session = session
+        self._plan = plan
         self.query_id = query_id
         self.expected_answers = expected_answers
         self._arrivals: list[QueryResult] = []
@@ -220,17 +244,31 @@ class QueryHandle:
         )
 
     def __iter__(self) -> Iterator[QueryResult]:
+        """Iterate streamed results; identical to :meth:`results` unbounded."""
+        return self.results()
+
+    def results(self, timeout: float | None = None) -> Iterator[QueryResult]:
         """Stream results as they arrive: partials first, the final one last.
 
-        Each step runs the network until the next recorded arrival.  The
-        stream ends after the complete result, or when the network goes
-        idle (nothing further can arrive).  Like :meth:`result` and
-        :meth:`items`, iterating a cancelled handle raises
-        :class:`~repro.errors.QueryCancelled`.
+        Each step runs the network until the next recorded arrival; the
+        stream ends cleanly after the complete result, or when the network
+        goes idle with partial answers recorded (the same degradation
+        :meth:`result` returns the latest partial for).  The error surface
+        matches :meth:`result` and :meth:`items` exactly:
+
+        * entering (or resuming) a cancelled handle raises
+          :class:`~repro.errors.QueryCancelled` — cancelling *mid*-step
+          ends the stream, since the arrivals already yielded stay valid;
+        * the issuing peer found offline raises
+          :class:`~repro.errors.PeerOffline`;
+        * the network going idle with *no* arrivals raises
+          :class:`~repro.errors.QueryTimeout` (the plan died en route), as
+          does exhausting ``timeout`` simulated milliseconds.
         """
         if self._cancelled:
             raise QueryCancelled(f"query {self.query_id!r} was cancelled")
         self._ensure_watching()
+        deadline = self._network.now + timeout if timeout is not None else None
         yielded = 0
         while True:
             while yielded < len(self._arrivals):
@@ -239,16 +277,54 @@ class QueryHandle:
                 yield result
                 if not result.partial:
                     return
+                if self._cancelled:
+                    return
             if self._cancelled or self._final is not None:
                 return
             arrived = self._network.run_until(
-                lambda: len(self._arrivals) > yielded
+                lambda: len(self._arrivals) > yielded, until=deadline
             )
             if self._cancelled:
                 return
-            if not arrived:
+            if arrived:
+                continue
+            if not self._peer.online:
+                self.close()  # fail loudly, matching result() and items()
+                raise PeerOffline(
+                    f"peer {self._peer.address} went offline while streaming "
+                    f"results of query {self.query_id!r}; results addressed to "
+                    "it are dead-lettered at their sender"
+                )
+            if self._idle():
                 self.close()  # idle: the stream can never produce more
-                return
+                if yielded:
+                    return
+                raise QueryTimeout(
+                    f"the network is idle and no result will ever arrive for "
+                    f"query {self.query_id!r} (the plan died en route)"
+                )
+            raise QueryTimeout(
+                f"no further results for query {self.query_id!r} within "
+                f"{timeout:g} simulated ms ({yielded} result(s) streamed)"
+            )
+
+    def subscribe(self) -> "Subscription":
+        """Promote this one-shot query into a standing query.
+
+        Re-registers the handle's plan as a subscription at the issuing
+        session (requires ``repro.perf.flags.continuous_queries``); the
+        snapshot this handle resolves to is the feed's baseline, and
+        subsequent mutations arrive as deltas.  Only handles created by
+        ``Session.submit`` / the query builder carry their plan — a
+        late-attached :meth:`Session.handle` cannot be promoted.
+        """
+        if self._session is None or self._plan is None:
+            raise APIError(
+                f"handle for query {self.query_id!r} carries no plan (late-"
+                "attached via Session.handle?); subscribe via "
+                "session.query(...).subscribe() instead"
+            )
+        return self._session.subscribe(self._plan)
 
     def items(self, timeout: float | None = None) -> Iterator[XMLElement]:
         """Stream individual result items as they arrive.
@@ -370,7 +446,13 @@ class QueryHandle:
             hops = 0
             staleness = 0.0
         failures = [
-            dict(record)
+            DeliveryFailure(
+                hop=str(record.get("hop", "")),
+                peer=str(record.get("peer", "")),
+                kind=str(record.get("kind", "")),
+                attempts=int(record.get("attempts", 0)),
+                at_ms=float(record.get("at_ms", 0.0)),
+            )
             for record in self._peer.delivery_failures.get(self.query_id, ())
         ]
         expected = self.expected_answers

@@ -36,6 +36,7 @@ from ..xmlmodel import XMLElement
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from .handle import QueryHandle
     from .session import Session
+    from .subscription import Subscription
 
 __all__ = ["QueryBuilder"]
 
@@ -228,6 +229,15 @@ class QueryBuilder:
             expected_answers=self._expected,
             query_id=self._query_id,
         )
+
+    def subscribe(self) -> "Subscription":
+        """Register the query as a standing query instead of answering once.
+
+        Requires ``repro.perf.flags.continuous_queries`` and a subscribable
+        shape (select/project over one interest-area source); deltas flow
+        to the issuing session as publishers mutate matching data.
+        """
+        return self._session.subscribe(self)
 
     # -- internals ------------------------------------------------------------- #
 

@@ -2,17 +2,28 @@
 
 A :class:`Session` wraps one :class:`~repro.peers.peer.QueryPeer` that is
 registered on a :class:`~repro.api.cluster.Cluster`'s network.  It is the
-supported way to *use* the system — publish data, wire catalog knowledge,
-and issue queries whose answers come back as future-like
-:class:`~repro.api.handle.QueryHandle` objects — regardless of which
-transport backend moves the bytes.
+supported way to *use* the system, regardless of which transport backend
+moves the bytes, and its surface groups into three verbs-of-a-kind:
+
+* **data lifecycle** — ``publish`` (create a collection), ``update``
+  (upsert items), ``retract`` (remove items), ``announce`` (intensional
+  statements about the data), ``register`` (push the catalog entry that
+  advertises it all);
+* **querying** — ``query()`` builds, ``submit()`` is the raw-plan fast
+  path, both resolving to a future-like
+  :class:`~repro.api.handle.QueryHandle`;
+* **standing queries** — ``subscribe()`` turns a plan into a
+  :class:`~repro.api.subscription.Subscription` whose delta feed the
+  lifecycle verbs above drive (``repro.perf.flags.continuous_queries``).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Sequence
 
 from ..algebra import QueryPlan
+from ..algebra.expressions import Expression
 from ..catalog import CollectionRef, IntensionalStatement, ServerEntry
 from ..mqp import QueryPreferences
 from ..namespace import InterestArea
@@ -20,6 +31,7 @@ from ..peers.peer import QueryPeer
 from ..xmlmodel import XMLElement
 from .handle import QueryHandle
 from .query import QueryBuilder
+from .subscription import Subscription
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from .cluster import Cluster
@@ -28,7 +40,7 @@ __all__ = ["Session"]
 
 
 class Session:
-    """A handle on one peer: ``publish(...)``, ``register(...)``, ``query(...)``."""
+    """A handle on one peer: ``publish(...)``, ``update(...)``, ``query(...)``."""
 
     def __init__(self, cluster: "Cluster", peer: QueryPeer) -> None:
         self.cluster = cluster
@@ -44,7 +56,10 @@ class Session:
         """Whether the peer currently accepts traffic."""
         return self.peer.online
 
-    # -- publishing (base-server behaviour) --------------------------------- #
+    # -- data lifecycle (base-server behaviour) ------------------------------ #
+    # publish → update → retract mutate the data; announce and register
+    # advertise it.  The mutation verbs drive the delta feeds of any
+    # standing queries armed over the collection's area.
 
     def publish(
         self,
@@ -59,6 +74,40 @@ class Session:
             self.peer.publish_named_resource(urn, name)
         return reference
 
+    def update(
+        self,
+        name: str,
+        items: Sequence[XMLElement],
+        key_path: str = "id",
+    ) -> tuple[int, int]:
+        """Upsert items into a published collection; ``(inserted, updated)``.
+
+        Items are keyed by their ``key_path`` attribute (or child element
+        text): a key match replaces the existing item, anything else is
+        appended.  With ``flags.continuous_queries`` on, matching armed
+        subscriptions receive the ``insert`` / ``update`` / ``retract``
+        deltas the mutation implies for *their* predicate.
+        """
+        return self.peer.update_collection(name, items, key_path=key_path)
+
+    def retract(
+        self,
+        name: str,
+        predicate: "Expression | str | None" = None,
+        keys: Sequence[str] | None = None,
+        key_path: str = "id",
+    ) -> list[XMLElement]:
+        """Remove items from a published collection and return them.
+
+        Victims are selected by ``keys`` (matched through ``key_path``) or
+        by a predicate (textual form accepted).  Matching armed
+        subscriptions receive ``retract`` deltas carrying the removed
+        items.
+        """
+        return self.peer.retract_from_collection(
+            name, predicate=predicate, keys=keys, key_path=key_path
+        )
+
     def announce(self, statement: "IntensionalStatement | str") -> None:
         """Adopt an intensional statement (§4.2) announced on registration."""
         if isinstance(statement, str):
@@ -68,15 +117,39 @@ class Session:
     # -- catalog wiring ------------------------------------------------------- #
 
     def register(self, *targets: "Session | QueryPeer | str") -> None:
-        """Push this peer's registration to index / meta-index servers."""
+        """Push this peer's registration to index / meta-index servers.
+
+        Targets are sessions or addresses; passing a raw
+        :class:`~repro.peers.peer.QueryPeer` is a deprecated side door
+        around the session surface.
+        """
         for target in targets:
+            if isinstance(target, QueryPeer):
+                warnings.warn(
+                    "passing a raw QueryPeer to Session.register is deprecated; "
+                    "pass the peer's Session or its address",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
             self.peer.register_with(_address_of(target))
 
     def learn_about(self, other: "Session | QueryPeer | ServerEntry") -> None:
-        """Record another server's entry locally (out-of-band discovery)."""
+        """Record another server's entry locally (out-of-band discovery).
+
+        Accepts a session or a :class:`~repro.catalog.ServerEntry`; passing
+        a raw :class:`~repro.peers.peer.QueryPeer` is a deprecated side
+        door around the session surface.
+        """
         if isinstance(other, ServerEntry):
             self.peer.learn_about(other)
             return
+        if isinstance(other, QueryPeer):
+            warnings.warn(
+                "passing a raw QueryPeer to Session.learn_about is deprecated; "
+                "pass the peer's Session or its ServerEntry",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         peer = other.peer if isinstance(other, Session) else other
         self.peer.learn_about(peer.server_entry())
 
@@ -105,6 +178,8 @@ class Session:
             self.cluster.network,
             mqp.query_id,
             expected_answers=expected_answers,
+            session=self,
+            plan=plan,
         )
 
     def handle(self, query_id: str, expected_answers: int | None = None) -> QueryHandle:
@@ -119,6 +194,23 @@ class Session:
         return QueryHandle(
             self.peer, self.cluster.network, query_id, expected_answers=expected_answers
         )
+
+    # -- standing queries (flags.continuous_queries) ------------------------------ #
+
+    def subscribe(self, query: "QueryBuilder | QueryPlan") -> Subscription:
+        """Register a plan as a standing query; deltas flow to this peer.
+
+        Accepts a fluent :class:`~repro.api.query.QueryBuilder` or a
+        pre-built plan.  The plan must be subscribable — select/project
+        over one interest-area URN — and
+        ``repro.perf.flags.continuous_queries`` must be on.  Returns the
+        :class:`~repro.api.subscription.Subscription` whose ``deltas()``
+        iterator the mutation verbs (:meth:`update` / :meth:`retract` at
+        publishing peers) feed.
+        """
+        plan = query.compile() if isinstance(query, QueryBuilder) else query
+        sub_id = self.peer.subscribe_plan(plan)
+        return Subscription(self, sub_id)
 
     # -- lifecycle (churn as API calls) ------------------------------------------ #
 

@@ -12,12 +12,16 @@ from .entries import (
 )
 from .index import CatalogIndex, CategoryTrie, StatementIndex
 from .intensional import CatalogLevel, IntensionalStatement, Relation, ServerHolding
+from .matcher import SubscriptionMatcher, SubscriptionShape, subscribable_shape
 
 __all__ = [
     "Catalog",
     "CatalogIndex",
     "CategoryTrie",
     "StatementIndex",
+    "SubscriptionMatcher",
+    "SubscriptionShape",
+    "subscribable_shape",
     "canonical_address",
     "ServerRole",
     "ServerEntry",

@@ -112,6 +112,14 @@ SCENARIOS: dict[str, ScaleoutSpec] = {
         workload="garage-sale", churn="none", queries=12,
         fault_loss=0.15, fault_duplicate=0.15, fault_reorder=0.2, reliable=True,
     ),
+    # --- continuous queries (flags.continuous_queries) ----------------------- #
+    # Standing queries over a churning marketplace: 40 subscribers, delta
+    # feeds driven by publisher mutation rounds, reliable delivery on.
+    "subscription-feed": ScaleoutSpec(
+        name="subscription-feed", topology="small-world", peers=120,
+        workload="garage-sale", churn="light", queries=8,
+        subscribers=40, mutation_rounds=4, reliable=True,
+    ),
 }
 
 
@@ -166,6 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fault-partition", type=float, nargs=2, default=None,
                         metavar=("START_MS", "END_MS"),
                         help="timed bipartite partition window in simulated ms")
+    parser.add_argument("--subscribers", type=int, default=None, metavar="N",
+                        help="standing-query clients armed over the query areas "
+                             "(default: 0, continuous queries off)")
+    parser.add_argument("--mutation-rounds", type=int, default=None, metavar="N",
+                        help="publisher mutation rounds driving the delta feeds "
+                             "(default: 0; requires --subscribers)")
     parser.add_argument("--output", default=None,
                         help="JSON report path (default: reports/<name>.json)")
     parser.add_argument("--list", action="store_true", dest="list_options",
@@ -195,6 +209,8 @@ def _spec_from_args(args: argparse.Namespace) -> ScaleoutSpec:
             "fault_partition": (
                 tuple(args.fault_partition) if args.fault_partition is not None else None
             ),
+            "subscribers": args.subscribers,
+            "mutation_rounds": args.mutation_rounds,
         }.items()
         if value is not None
     }
@@ -267,6 +283,8 @@ def main(argv: list[str] | None = None) -> int:
             if isinstance(value, (int, float)) and not isinstance(value, bool)
         }
         print(format_summary(counters, title="resilience"))
+    if "subscriptions" in report:
+        print(format_summary(report["subscriptions"], title="subscriptions"))
     print(f"report written to {path} ({elapsed:.1f}s wall clock)")
     return 0
 

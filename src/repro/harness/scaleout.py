@@ -77,6 +77,7 @@ __all__ = [
     "ROUTING_KINDS",
     "build_scaleout_scenario",
     "schedule_queries",
+    "schedule_mutations",
     "run_scaleout",
 ]
 
@@ -123,6 +124,13 @@ class ScaleoutSpec:
     fault_delay: float = 0.0
     fault_reorder: float = 0.0
     fault_partition: tuple[float, float] | None = None
+    # Continuous-query knobs (flags.continuous_queries).  ``subscribers``
+    # standing-query clients are armed over the workload's query areas and
+    # ``mutation_rounds`` rounds of publisher mutations drive their delta
+    # feeds.  The zero defaults are elided from the report — flag-off runs
+    # stay byte-identical to pre-subscription builds.
+    subscribers: int = 0
+    mutation_rounds: int = 0
 
     def fault_plan(self) -> FaultPlan:
         """The seeded link-fault plan this spec describes.
@@ -175,6 +183,14 @@ class ScaleoutSpec:
             raise SimulationError(
                 "reliable delivery is the MQP stack's protocol; baselines are fire-and-forget"
             )
+        if self.subscribers < 0 or self.mutation_rounds < 0:
+            raise SimulationError("subscribers and mutation_rounds must be non-negative")
+        if self.subscribers > 0 and self.routing != "mqp":
+            raise SimulationError(
+                "continuous queries are the MQP stack's protocol; baselines poll"
+            )
+        if self.mutation_rounds > 0 and self.subscribers == 0:
+            raise SimulationError("mutation_rounds without subscribers drives no feed")
 
 
 @dataclass
@@ -226,6 +242,10 @@ class ScaleoutScenario:
     free_riders: list[str] = field(default_factory=list)
     stale_crashed: list[str] = field(default_factory=list)
     poisoned_entries: int = 0
+    # Continuous-query state (populated when spec.subscribers > 0):
+    subscriber_addresses: list[str] = field(default_factory=list)
+    subscription_ids: list[str] = field(default_factory=list)
+    hot_publishers: list[str] = field(default_factory=list)
 
     @property
     def total_peers(self) -> int:
@@ -488,6 +508,9 @@ def build_scaleout_scenario(
     else:
         _build_napster_network(spec, scenario)
 
+    if spec.subscribers > 0:
+        _arm_subscribers(spec, scenario)
+
     _apply_adversary(spec, scenario)
 
     profile = CHURN_PROFILES[spec.churn]
@@ -574,6 +597,75 @@ def _apply_adversary(spec: ScaleoutSpec, scenario: ScaleoutScenario) -> None:
         )
 
 
+_MAX_HOT_PUBLISHERS = 8
+"""Cap on the publisher set mutation rounds drive (reported, not silent)."""
+
+
+def _arm_subscribers(spec: ScaleoutSpec, scenario: ScaleoutScenario) -> None:
+    """Stand up standing-query clients over the workload's query areas.
+
+    Each subscriber watches one of the generated query areas (cycled), so
+    the delta feeds exercise the same namespace regions the one-shot
+    queries do.  Requires ``flags.continuous_queries`` —
+    :func:`run_scaleout` scopes it on for specs with ``subscribers > 0``.
+    """
+    cluster = scenario.cluster
+    areas = [query.area for query in scenario.queries]
+    for position in range(spec.subscribers):
+        address = f"subscriber-{position:03d}:9020"
+        cluster.client(address)
+        scenario.subscriber_addresses.append(address)
+    cluster.seed_clients()  # the late joiners need their meta-index bootstrap
+    subscribed_indices: set[int] = set()
+    for position, address in enumerate(scenario.subscriber_addresses):
+        index = position % len(areas)
+        subscribed_indices.add(index)
+        plan = PlanBuilder.urn(str(InterestAreaURN.for_area(areas[index]))).display(address)
+        subscription = cluster.session(address).subscribe(plan)
+        scenario.subscription_ids.append(subscription.sub_id)
+    cluster.run_until_idle()  # let the subscribe fan-out settle before queries fire
+    scenario.hot_publishers = [
+        peer.address
+        for peer in scenario.data_peers
+        if any(peer.area.overlaps(areas[index]) for index in subscribed_indices)
+    ][:_MAX_HOT_PUBLISHERS]
+
+
+def schedule_mutations(scenario: ScaleoutScenario) -> int:
+    """Schedule the spec's publisher mutation rounds on the clock.
+
+    Each round, every hot publisher upserts a copy of its first item — a
+    keyed item classifies as an ``update`` delta, an unkeyed one as an
+    ``insert`` — so armed subscriptions see one delta per overlapping
+    publisher per round.  Rounds go ``query_interval_ms`` apart,
+    interleaving with the query schedule.  Returns the number of
+    scheduled mutation events.
+    """
+    spec = scenario.spec
+    if spec.mutation_rounds == 0 or not scenario.hot_publishers:
+        return 0
+    cluster = scenario.cluster
+    network = scenario.network
+    items_by_address = {peer.address: peer.items for peer in scenario.data_peers}
+    start = network.now
+    scheduled = 0
+    for round_number in range(spec.mutation_rounds):
+        at = start + (round_number + 1) * spec.query_interval_ms
+        for address in scenario.hot_publishers:
+            items = items_by_address[address]
+            if not items:
+                continue
+
+            def mutate(address=address, item=items[0]) -> None:
+                session = cluster.session(address)
+                if session.online:  # churn may have taken the publisher down
+                    session.update("items", [item.copy()])
+
+            network.schedule_at(at, mutate)
+            scheduled += 1
+    return scheduled
+
+
 def _issue_mqp_query(scenario: ScaleoutScenario, query: _Query, label: str) -> str:
     session = scenario.cluster.session(scenario.client.address)  # type: ignore[union-attr]
     plan = query.plan_for(session.address)
@@ -622,10 +714,14 @@ def run_scaleout(
     # the flag is process-global, so scoping it here keeps grid cells with
     # different reliability settings comparable within one process.
     reliability = overrides(reliable_delivery=True) if spec.reliable else nullcontext()
-    with reliability:
+    continuous = (
+        overrides(continuous_queries=True) if spec.subscribers > 0 else nullcontext()
+    )
+    with reliability, continuous:
         scenario = build_scaleout_scenario(spec, transport=transport)
         with scenario.cluster as cluster:
             query_ids = schedule_queries(scenario)
+            schedule_mutations(scenario)
             cluster.run_until_idle()
 
             for query_id in query_ids:
@@ -687,7 +783,14 @@ _RESILIENCE_DEFAULTS = {
 """Resilience spec fields elided at their fault-free defaults — the same
 byte-identity convention as :data:`_ADVERSARY_DEFAULTS`."""
 
-_ELIDED_DEFAULTS = {**_ADVERSARY_DEFAULTS, **_RESILIENCE_DEFAULTS}
+_SUBSCRIPTION_DEFAULTS = {
+    "subscribers": 0,
+    "mutation_rounds": 0,
+}
+"""Continuous-query spec fields elided at their flag-off defaults — the
+same byte-identity convention as :data:`_ADVERSARY_DEFAULTS`."""
+
+_ELIDED_DEFAULTS = {**_ADVERSARY_DEFAULTS, **_RESILIENCE_DEFAULTS, **_SUBSCRIPTION_DEFAULTS}
 
 
 def _scenario_dict(spec: ScaleoutSpec) -> dict[str, object]:
@@ -768,6 +871,29 @@ def _report(scenario: ScaleoutScenario, query_ids: list[str]) -> dict[str, objec
             ),
         }
         report["resilience"] = resilience
+
+    if spec.subscribers > 0:
+        query_peers: list[QueryPeer] = [
+            node for node in network.nodes() if isinstance(node, QueryPeer)
+        ]
+        delivered = [
+            scenario.cluster.session(address).peer.deltas_delivered
+            for address in scenario.subscriber_addresses
+        ]
+        report["subscriptions"] = {
+            "subscribers": spec.subscribers,
+            "mutation_rounds": spec.mutation_rounds,
+            "hot_publishers": len(scenario.hot_publishers),
+            "armed": sum(len(peer.armed_subscriptions) for peer in query_peers),
+            "deltas_published": sum(peer.deltas_published for peer in query_peers),
+            "deltas_delivered": sum(delivered),
+            "delivery_min": min(delivered) if delivered else 0,
+            "delivery_max": max(delivered) if delivered else 0,
+            "delta_duplicates": sum(peer.delta_duplicates for peer in query_peers),
+            "delta_gaps": sum(peer.delta_gaps for peer in query_peers),
+            "authority_conflicts": sum(peer.authority_conflicts for peer in query_peers),
+            "resubscribes": sum(peer.resubscribes for peer in query_peers),
+        }
 
     if (
         scenario.free_riders

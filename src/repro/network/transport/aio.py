@@ -191,7 +191,7 @@ class AsyncioTransport(Transport):
         # Physical half: the frame enters the link's ordered outbound queue.
         # A chunked result is many small frames here (one per chunk), each
         # subject to the recipient's bounded-inbox backpressure.
-        if message.kind in ("result-chunk", "result-end"):
+        if message.kind in ("result-chunk", "result-end", "delta-chunk"):
             self._counters["chunk_frames"] += 1
         link = self._link_for(message.sender, message.recipient)
         link.queue.append(encode_frame(message))

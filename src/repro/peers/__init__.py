@@ -1,6 +1,12 @@
 """Peer roles: base servers, index and meta-index servers, clients, registration."""
 
 from .peer import QueryPeer, QueryResult, RegistrationPayload
+from .subscriptions import (
+    ArmedSubscription,
+    DeltaRecord,
+    PublisherFeed,
+    SubscriberState,
+)
 from .registration import (
     covering_indexers,
     register_offline,
@@ -14,6 +20,10 @@ __all__ = [
     "QueryPeer",
     "QueryResult",
     "RegistrationPayload",
+    "ArmedSubscription",
+    "DeltaRecord",
+    "PublisherFeed",
+    "SubscriberState",
     "BaseServer",
     "IndexServer",
     "MetaIndexServer",

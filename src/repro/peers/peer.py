@@ -36,6 +36,28 @@ Message kinds understood:
     budget is exhausted, at which point the sender reroutes (plans),
     tears down (streams), or dead-letters (results) — and records the
     failure so issuers can report per-hop delivery provenance.
+``subscribe`` / ``unsubscribe``
+    The continuous-query protocol (``flags.continuous_queries``): a
+    standing query travels to the index servers covering its area, which
+    record it and fan it out to overlapping base servers; each base
+    server arms a publish-time matcher
+    (:class:`~repro.catalog.matcher.SubscriptionMatcher`).  ``unsubscribe``
+    retraces the same fan-out, disarming matchers and cancelling pending
+    delta retransmissions at every hop.
+``delta-chunk`` / ``delta-ack``
+    Incremental results for standing queries: a mutation against an armed
+    collection leaves the publisher as a ``delta-chunk`` envelope
+    (``insert`` / ``update`` / ``retract``) with a per-subscription
+    sequence number and epoch token, riding the same wire path — and the
+    same reliable-delivery machinery — as ``result-chunk``.  The
+    subscriber releases deltas strictly in sequence and acknowledges
+    cumulatively with ``delta-ack`` so the publisher can trim its replay
+    log.
+``sub-conflict``
+    Conflicting-authority detection (the MOAS analogy): a publisher armed
+    for a subscription by one authority that receives the same
+    subscription from a *different* authority keeps the original arming
+    (never double-delivers) and surfaces the overlap to the subscriber.
 """
 
 from __future__ import annotations
@@ -47,6 +69,8 @@ from itertools import islice
 from typing import Callable, Iterator, Sequence
 
 from ..algebra import QueryPlan
+from ..algebra.expressions import Expression, parse_predicate
+from ..algebra.serialization import parse_plan, serialize_plan
 from ..catalog import (
     Catalog,
     CollectionRef,
@@ -55,6 +79,9 @@ from ..catalog import (
     RoutingCache,
     ServerEntry,
     ServerRole,
+    SubscriptionMatcher,
+    SubscriptionShape,
+    subscribable_shape,
 )
 from ..errors import PeerError, PeerOffline
 from ..mqp import (
@@ -70,8 +97,15 @@ from ..namespace import InterestArea, MultiHierarchicNamespace
 from ..network import Event, Message, NetworkNode
 from ..perf import flags
 from ..xmlmodel import XMLElement, parse_xml, serialize_xml
+from .subscriptions import (
+    ArmedSubscription,
+    DeltaRecord,
+    PublisherFeed,
+    SubscriberState,
+    epoch_counter,
+)
 
-__all__ = ["RegistrationPayload", "QueryResult", "QueryPeer"]
+__all__ = ["RegistrationPayload", "QueryResult", "QueryPeer", "DeltaRecord"]
 
 
 @dataclass
@@ -113,6 +147,19 @@ class _ResultStream:
     stream: str
     seq: int = 0
     sent_items: int = 0
+
+
+def _item_key(item: XMLElement, key_path: str) -> str | None:
+    """An item's mutation key: the ``key_path`` attribute or child text.
+
+    Data sources differ on where they carry identity — marketplace items
+    stamp an ``id`` attribute, document-style sources a child element —
+    so the upsert/retract verbs accept either spelling.
+    """
+    value = item.attributes.get(key_path)
+    if value is not None:
+        return value
+    return item.child_text(key_path)
 
 
 def _insert_capped(
@@ -287,6 +334,25 @@ class QueryPeer(NetworkNode):
         self.duplicates_dropped = 0
         self.acks_sent = 0
         self.delivery_failures: dict[str, list[dict]] = {}
+        # -- continuous queries (flags.continuous_queries) -------------------- #
+        self.matcher = SubscriptionMatcher()
+        self.armed_subscriptions: dict[str, ArmedSubscription] = {}
+        # Authority-side store: sub_id -> {"envelope": wire dict, "shape": parsed}.
+        self.subscription_registry: dict[str, dict] = {}
+        self.subscription_memory = 1024
+        self.delta_log_memory = 256
+        self.max_subscribe_hops = 4
+        self.my_subscriptions: dict[str, SubscriberState] = {}
+        self._delta_watchers: dict[str, list[Callable[[DeltaRecord], None]]] = {}
+        self._conflict_notified: set[tuple[str, str]] = set()
+        self._sub_counter = 0
+        self._epoch_counter = 0
+        self.deltas_published = 0
+        self.deltas_delivered = 0
+        self.delta_duplicates = 0
+        self.delta_gaps = 0
+        self.authority_conflicts = 0
+        self.resubscribes = 0
         # -- batched processing --------------------------------------------- #
         self.batch_window_ms: float | None = None
         self.batches_processed = 0
@@ -318,6 +384,86 @@ class QueryPeer(NetworkNode):
             return self.collections[path]
         except KeyError:
             raise PeerError(f"{self.address}: no local collection {name!r}") from None
+
+    def update_collection(
+        self,
+        name: str,
+        items: Sequence[XMLElement],
+        key_path: str = "id",
+    ) -> tuple[int, int]:
+        """Upsert ``items`` into a local collection, keyed by ``key_path``.
+
+        The key is the item's ``key_path`` attribute, or — when the
+        attribute is absent — the text of its ``key_path`` child element.
+        An incoming item whose key matches an existing item replaces it;
+        items with no match (or no key) are appended.  Returns the
+        ``(inserted, updated)`` counts.  With ``flags.continuous_queries``
+        on, matching armed subscriptions receive ``insert`` / ``update``
+        deltas — and an update that moves an item across a subscription's
+        predicate boundary is delivered as the ``insert`` or ``retract``
+        the subscriber actually observes.
+        """
+        path = name if name.startswith("/") else f"/{name}"
+        existing = self.collections.get(path)
+        if existing is None:
+            raise PeerError(f"{self.address}: no local collection {name!r}")
+        positions: dict[str, int] = {}
+        for index, item in enumerate(existing):
+            key = _item_key(item, key_path)
+            if key is not None and key not in positions:
+                positions[key] = index
+        inserts: list[XMLElement] = []
+        updates: list[tuple[XMLElement, XMLElement]] = []
+        for item in items:
+            key = _item_key(item, key_path)
+            position = positions.get(key) if key is not None else None
+            if position is None:
+                existing.append(item)
+                inserts.append(item)
+                if key is not None:
+                    positions[key] = len(existing) - 1
+            else:
+                updates.append((existing[position], item))
+                existing[position] = item
+        self.catalog.register_server(self.server_entry())
+        self._emit_mutation(path, inserts=inserts, updates=updates)
+        return len(inserts), len(updates)
+
+    def retract_from_collection(
+        self,
+        name: str,
+        predicate: Expression | str | None = None,
+        keys: Sequence[str] | None = None,
+        key_path: str = "id",
+    ) -> list[XMLElement]:
+        """Remove items from a local collection and return them.
+
+        Selects victims by ``keys`` (values reached through ``key_path``)
+        or by a predicate (an :class:`Expression` or its text form).  With
+        ``flags.continuous_queries`` on, matching armed subscriptions
+        receive ``retract`` deltas carrying the removed items.
+        """
+        path = name if name.startswith("/") else f"/{name}"
+        items = self.collections.get(path)
+        if items is None:
+            raise PeerError(f"{self.address}: no local collection {name!r}")
+        if keys is not None:
+            wanted = set(keys)
+            removed = [item for item in items if _item_key(item, key_path) in wanted]
+        elif predicate is not None:
+            expression = (
+                parse_predicate(predicate) if isinstance(predicate, str) else predicate
+            )
+            removed = [item for item in items if expression.matches(item)]
+        else:
+            raise PeerError("retract_from_collection needs a predicate or keys")
+        if not removed:
+            return []
+        victims = {id(item) for item in removed}
+        self.collections[path] = [item for item in items if id(item) not in victims]
+        self.catalog.register_server(self.server_entry())
+        self._emit_mutation(path, retracts=removed)
+        return removed
 
     def publish_named_resource(self, urn_name: str, collection_name: str) -> None:
         """Expose a local collection under an application URN name."""
@@ -410,6 +556,14 @@ class QueryPeer(NetworkNode):
         self._mqp_buffer.clear()
         for query_id in list(self._open_streams):
             self._teardown_stream(query_id)
+        # Armed matcher state is in-RAM: a crashed publisher loses it and is
+        # re-armed from an authority's registry when it registers again on
+        # rejoin (with a fresh epoch).  The subscriber-side intent
+        # (my_subscriptions) survives like registration_targets, so a
+        # rejoining subscriber can replay from its last released sequence.
+        self.armed_subscriptions.clear()
+        self.matcher = SubscriptionMatcher()
+        self._conflict_notified.clear()
         super().go_offline(graceful=graceful)
 
     def go_online(self) -> None:
@@ -423,6 +577,9 @@ class QueryPeer(NetworkNode):
         if self.network is not None:
             for target in list(self.registration_targets):
                 self.register_with(target)
+            if flags.continuous_queries:
+                for sub_id in list(self.my_subscriptions):
+                    self.resubscribe(sub_id)
 
     # ------------------------------------------------------------------ #
     # Client behaviour: issuing queries and receiving results
@@ -622,6 +779,532 @@ class QueryPeer(NetworkNode):
         return list(self._chunk_buffers.get(query_id, ()))
 
     # ------------------------------------------------------------------ #
+    # Continuous queries (flags.continuous_queries)
+    # ------------------------------------------------------------------ #
+
+    def subscribe_plan(self, plan: QueryPlan, sub_id: str | None = None) -> str:
+        """Register ``plan`` as a standing query and return its id.
+
+        The plan must be subscribable (select/project over one
+        interest-area URN — :func:`~repro.catalog.matcher.subscribable_shape`
+        raises otherwise).  The subscribe envelope travels to the
+        authoritative index servers covering the area, which fan it out to
+        the base servers actually holding overlapping data; deltas then
+        flow directly publisher → subscriber.
+        """
+        self._require_network()
+        if not flags.continuous_queries:
+            raise PeerError(
+                "continuous queries are disabled (enable flags.continuous_queries)"
+            )
+        if not self.online:
+            raise PeerOffline(f"{self.address} is offline and cannot subscribe")
+        subscribable_shape(plan)  # validate before anything is registered
+        if sub_id is None:
+            self._sub_counter += 1
+            sub_id = f"{self.address}#sub{self._sub_counter}"
+        state = SubscriberState(sub_id=sub_id, document=serialize_plan(plan))
+        self.my_subscriptions[sub_id] = state
+        self._send_subscribe(state)
+        return sub_id
+
+    def resubscribe(self, sub_id: str) -> None:
+        """Re-send a subscription with resume tokens (after churn).
+
+        A rejoining subscriber calls this (``go_online`` does it
+        automatically) so every publisher replays from the last sequence
+        number this peer released — no gaps, no duplicates.
+        """
+        state = self.my_subscriptions.get(sub_id)
+        if state is None:
+            raise PeerError(f"{self.address}: unknown subscription {sub_id!r}")
+        self.resubscribes += 1
+        self._send_subscribe(state)
+
+    def unsubscribe(self, sub_id: str) -> None:
+        """Tear the subscription down at every hop.  Idempotent.
+
+        Mirrors :meth:`cancel_query`'s upstream propagation: the
+        unsubscribe notice retraces the subscribe fan-out (authorities
+        drop their registry entries and forward; publishers disarm their
+        matchers and cancel pending delta retransmissions).
+        """
+        state = self.my_subscriptions.pop(sub_id, None)
+        if state is None:
+            return
+        state.active = False
+        self._delta_watchers.pop(sub_id, None)
+        self._cancel_sub_transfers(sub_id)
+        if self.network is None or not self.online:
+            return
+        for target in sorted(set(state.targets) | set(state.feeds)):
+            self._send_query_traffic(
+                target, "unsubscribe", {"sub": sub_id, "hops": 0}, 64, query_id=sub_id
+            )
+
+    def subscription_state(self, sub_id: str) -> SubscriberState | None:
+        """The subscriber-side state for ``sub_id`` (``None`` when unknown)."""
+        return self.my_subscriptions.get(sub_id)
+
+    # -- delta watching (how repro.api.Subscription streams) ------------------- #
+
+    def watch_deltas(self, sub_id: str, callback: Callable[[DeltaRecord], None]) -> None:
+        """Invoke ``callback`` for every delta released under ``sub_id``."""
+        self._delta_watchers.setdefault(sub_id, []).append(callback)
+
+    def unwatch_deltas(
+        self, sub_id: str, callback: Callable[[DeltaRecord], None] | None = None
+    ) -> None:
+        """Drop delta watchers for ``sub_id`` — all of them, or one."""
+        if callback is None:
+            self._delta_watchers.pop(sub_id, None)
+            return
+        watchers = self._delta_watchers.get(sub_id)
+        if watchers is None:
+            return
+        try:
+            watchers.remove(callback)
+        except ValueError:
+            pass
+        if not watchers:
+            self._delta_watchers.pop(sub_id, None)
+
+    # -- subscriber side ------------------------------------------------------- #
+
+    def _send_subscribe(self, state: SubscriberState) -> None:
+        shape = subscribable_shape(parse_plan(state.document))
+        targets = [
+            entry.address
+            for entry in self.catalog.authoritative_servers(shape.area)
+            if entry.address != self.address
+        ]
+        if not targets:
+            targets = [
+                entry.address
+                for entry in self.catalog.servers_overlapping(
+                    shape.area, roles=(ServerRole.INDEX, ServerRole.META_INDEX)
+                )
+                if entry.address != self.address
+            ]
+        holds_data = self._holds_overlap(shape.area)
+        if not targets and not holds_data:
+            raise PeerError(
+                f"{self.address}: no index server known for area {shape.area}"
+            )
+        resume = {
+            publisher: [feed.epoch, feed.next_seq - 1]
+            for publisher, feed in state.feeds.items()
+        }
+        envelope = {
+            "document": state.document,
+            "sub": state.sub_id,
+            "subscriber": self.address,
+            "authority": "",
+            "resume": resume,
+            "hops": 0,
+        }
+        state.targets = list(targets)
+        for target in targets:
+            self._send_query_traffic(
+                target,
+                "subscribe",
+                dict(envelope),
+                len(state.document),
+                query_id=state.sub_id,
+            )
+        if holds_data:
+            # Self-subscription: this peer's own collections feed the query.
+            self._arm_subscription(state.sub_id, self.address, shape, "", resume)
+
+    def _handle_delta_chunk(self, message: Message) -> None:
+        envelope: dict = message.payload
+        sub_id = envelope["sub"]
+        publisher = str(envelope.get("publisher", message.sender))
+        state = self.my_subscriptions.get(sub_id)
+        if state is None or not state.active:
+            # A straggler feed for a dead subscription: tell the publisher
+            # to tear down — once, not once per frame already in flight
+            # (the same notify-once idiom as cancelled-query chunks).
+            if (sub_id, publisher) not in self._cancel_notified:
+                _insert_capped(
+                    self._cancel_notified, (sub_id, publisher), None, self.cancel_memory
+                )
+                self.send(publisher, "unsubscribe", {"sub": sub_id, "hops": 0}, size_bytes=64)
+            return
+        epoch = str(envelope["epoch"])
+        seq = int(envelope["seq"])
+        feed = state.feeds.get(publisher)
+        if feed is None or feed.epoch != epoch:
+            if feed is not None and epoch_counter(epoch) <= epoch_counter(feed.epoch):
+                return  # a stale retransmit from before the publisher re-armed
+            feed = PublisherFeed(epoch=epoch)
+            state.feeds[publisher] = feed
+        if seq < feed.next_seq or seq in feed.pending:
+            # Already released (or already held): a fault-cloned frame or a
+            # replay overlapping the resume point.  Re-acknowledge so the
+            # publisher trims its log even if the original ack was lost.
+            self.delta_duplicates += 1
+            self.send(
+                publisher,
+                "delta-ack",
+                {"sub": sub_id, "seq": feed.next_seq - 1},
+                size_bytes=32,
+            )
+            return
+        feed.pending[seq] = envelope
+        while feed.next_seq in feed.pending:
+            held = feed.pending.pop(feed.next_seq)
+            record = DeltaRecord(
+                sub_id=sub_id,
+                kind=str(held.get("kind", "insert")),
+                items=list(parse_xml(held["document"]).children),
+                publisher=publisher,
+                epoch=epoch,
+                seq=feed.next_seq,
+                received_at=self.now,
+            )
+            feed.next_seq += 1
+            state.deltas.append(record)
+            self.deltas_delivered += 1
+            watchers = self._delta_watchers.get(sub_id)
+            if watchers:
+                for watcher in list(watchers):
+                    if watcher in (self._delta_watchers.get(sub_id) or ()):
+                        watcher(record)
+        self.send(
+            publisher,
+            "delta-ack",
+            {"sub": sub_id, "seq": feed.next_seq - 1},
+            size_bytes=32,
+        )
+
+    def _handle_sub_conflict(self, message: Message) -> None:
+        envelope: dict = message.payload
+        state = self.my_subscriptions.get(envelope["sub"])
+        if state is not None:
+            state.conflicts.append(dict(envelope))
+
+    # -- authority side -------------------------------------------------------- #
+
+    def _handle_subscribe(self, message: Message) -> None:
+        if not flags.continuous_queries:
+            return  # a straggler from a run that had the flag on
+        envelope: dict = message.payload
+        sub_id = str(envelope["sub"])
+        subscriber = str(envelope["subscriber"])
+        hops = int(envelope.get("hops", 0))
+        shape = subscribable_shape(parse_plan(envelope["document"]))
+        if subscriber != self.address and self._holds_overlap(shape.area):
+            self._arm_subscription(
+                sub_id,
+                subscriber,
+                shape,
+                str(envelope.get("authority", "")),
+                dict(envelope.get("resume") or {}),
+            )
+        if ({ServerRole.INDEX, ServerRole.META_INDEX} & self.roles
+                and hops < self.max_subscribe_hops):
+            stored = dict(envelope)
+            stored["hops"] = hops
+            _insert_capped(
+                self.subscription_registry,
+                sub_id,
+                {"envelope": stored, "shape": shape},
+                self.subscription_memory,
+            )
+            self._forward_subscription(stored, shape)
+
+    def _forward_subscription(self, envelope: dict, shape: SubscriptionShape) -> None:
+        """Fan a subscribe envelope out towards the data it watches.
+
+        An authoritative indexer stamps itself as the subscription's
+        authority; base servers receiving the same subscription from two
+        *different* authorities raise the MOAS-style conflict instead of
+        arming twice.
+        """
+        forwarded = dict(envelope)
+        if self.authoritative or not forwarded.get("authority"):
+            forwarded["authority"] = self.address
+        forwarded["hops"] = int(envelope.get("hops", 0)) + 1
+        subscriber = str(envelope["subscriber"])
+        for address in self._subscription_fanout(shape.area, subscriber):
+            self._send_query_traffic(
+                address,
+                "subscribe",
+                dict(forwarded),
+                len(str(envelope["document"])),
+                query_id=str(envelope["sub"]),
+            )
+
+    def _subscription_fanout(self, area: InterestArea, subscriber: str) -> list[str]:
+        """Where a subscribe/unsubscribe travels next from this hop."""
+        roles: tuple[ServerRole, ...] = (ServerRole.BASE,)
+        if ServerRole.META_INDEX in self.roles:
+            # The meta-index also seeds the index layer, so a failed-over
+            # authority can re-arm publishers from its own registry.
+            roles = (ServerRole.BASE, ServerRole.INDEX)
+        return [
+            entry.address
+            for entry in self.catalog.servers_overlapping(area, roles=roles)
+            if entry.address not in (self.address, subscriber)
+            and entry.address not in self.suspected_dead
+        ]
+
+    def _rearm_registrant(self, entry: ServerEntry) -> None:
+        """Re-forward stored subscriptions to a (re)registering server.
+
+        This is how matchers survive churn: a publisher that crashed and
+        rejoined registers here, and every overlapping subscription in the
+        registry travels back to it — arming a fresh epoch.  A server that
+        registers *after* a subscription was made is armed the same way.
+        """
+        for sub_id, record in list(self.subscription_registry.items()):
+            envelope: dict = record["envelope"]
+            shape: SubscriptionShape = record["shape"]
+            if envelope["subscriber"] == entry.address:
+                continue
+            if not shape.area.overlaps(entry.area):
+                continue
+            forwarded = dict(envelope)
+            if self.authoritative or not forwarded.get("authority"):
+                forwarded["authority"] = self.address
+            forwarded["hops"] = int(envelope.get("hops", 0)) + 1
+            self._send_query_traffic(
+                entry.address,
+                "subscribe",
+                forwarded,
+                len(str(envelope["document"])),
+                query_id=sub_id,
+            )
+
+    def _handle_unsubscribe(self, message: Message) -> None:
+        envelope: dict = message.payload
+        sub_id = str(envelope["sub"])
+        hops = int(envelope.get("hops", 0))
+        armed = self.armed_subscriptions.pop(sub_id, None)
+        if armed is not None:
+            self.matcher.disarm(sub_id)
+            self._cancel_sub_transfers(sub_id)
+        record = self.subscription_registry.pop(sub_id, None)
+        if record is not None and hops < self.max_subscribe_hops:
+            shape: SubscriptionShape = record["shape"]
+            subscriber = str(record["envelope"]["subscriber"])
+            for address in self._subscription_fanout(shape.area, subscriber):
+                self._send_query_traffic(
+                    address,
+                    "unsubscribe",
+                    {"sub": sub_id, "hops": hops + 1},
+                    64,
+                    query_id=sub_id,
+                )
+
+    def _cancel_sub_transfers(self, sub_id: str) -> None:
+        """Kill pending delta retransmissions for one subscription.
+
+        Delta transfers are keyed by subscription id exactly like query
+        transfers are keyed by query id, so teardown mirrors
+        :meth:`cancel_query`'s timer sweep.
+        """
+        for transfer, state in list(self._pending_transfers.items()):
+            if state.query_id == sub_id:
+                del self._pending_transfers[transfer]
+                if state.timer is not None:
+                    state.timer.cancel()
+
+    # -- publisher side -------------------------------------------------------- #
+
+    def _holds_overlap(self, area: InterestArea) -> bool:
+        return any(
+            area.overlaps(collection_area)
+            for collection_area in self.collection_areas.values()
+        )
+
+    def _arm_subscription(
+        self,
+        sub_id: str,
+        subscriber: str,
+        shape: SubscriptionShape,
+        authority: str,
+        resume: dict,
+    ) -> None:
+        existing = self.armed_subscriptions.get(sub_id)
+        if existing is not None:
+            if authority and existing.authority and authority != existing.authority:
+                # MOAS-style conflict: a second authority claims this
+                # subscription's area.  Keep the original arming — never
+                # double-deliver — and surface the overlap to the
+                # subscriber (once per conflicting authority).
+                self.authority_conflicts += 1
+                if (sub_id, authority) not in self._conflict_notified:
+                    self._conflict_notified.add((sub_id, authority))
+                    self.send(
+                        subscriber,
+                        "sub-conflict",
+                        {
+                            "sub": sub_id,
+                            "publisher": self.address,
+                            "authorities": sorted((existing.authority, authority)),
+                            "at_ms": round(self.now, 3),
+                        },
+                        size_bytes=96,
+                    )
+                return
+            if authority and not existing.authority:
+                existing.authority = authority
+            existing.paused = False
+            self._replay_deltas(existing, resume)
+            return
+        self._epoch_counter += 1
+        armed = ArmedSubscription(
+            sub_id=sub_id,
+            subscriber=subscriber,
+            shape=shape,
+            authority=authority,
+            epoch=f"{self.address}/e{self._epoch_counter}",
+        )
+        self.armed_subscriptions[sub_id] = armed
+        self.matcher.arm(sub_id, shape)
+        self._replay_deltas(armed, resume)
+
+    def _replay_deltas(self, armed: ArmedSubscription, resume: dict) -> None:
+        """Retransmit everything the subscriber has not seen, in order.
+
+        The resume token names the last sequence the subscriber released
+        for *this* publisher and epoch; without one (or across an epoch
+        change) the whole unacknowledged log replays.  A hole in the log —
+        an unacknowledged delta the bounded log already evicted — means
+        this epoch cannot be resumed without a silent gap, so the
+        subscription re-arms under a fresh epoch instead (the subscriber
+        observes the continuity break and can fall back to a snapshot).
+        """
+        token = resume.get(self.address)
+        if token is not None and str(token[0]) == armed.epoch:
+            start = int(token[1]) + 1
+        else:
+            start = armed.acked_seq + 1
+        if any(seq not in armed.log for seq in range(start, armed.next_seq)):
+            self.delta_gaps += 1
+            self._epoch_counter += 1
+            armed.epoch = f"{self.address}/e{self._epoch_counter}"
+            armed.next_seq = 0
+            armed.acked_seq = -1
+            armed.log.clear()
+            return
+        for seq in range(start, armed.next_seq):
+            self._transmit_delta(armed, armed.log[seq])
+
+    def _emit_mutation(
+        self,
+        path: str,
+        inserts: Sequence[XMLElement] = (),
+        updates: Sequence[tuple[XMLElement, XMLElement]] = (),
+        retracts: Sequence[XMLElement] = (),
+    ) -> None:
+        """Match one collection mutation against the armed subscriptions.
+
+        Candidate subscriptions come from the matcher's trie walk over the
+        collection's area — O(depth + matches), never O(armed plans) — and
+        each candidate classifies the mutation through its own predicate:
+        an update whose old state matched but whose new state does not is
+        that subscriber's ``retract``, and vice versa.
+        """
+        if not flags.continuous_queries or not self.armed_subscriptions:
+            return
+        if self.network is None or not self.online:
+            return
+        area = self.collection_areas.get(path)
+        if area is None:
+            return
+        for sub_id, shape in self.matcher.matching(area):
+            armed = self.armed_subscriptions[sub_id]
+            inserted = [item for item in inserts if shape.relevant(item)]
+            updated: list[XMLElement] = []
+            retracted = [item for item in retracts if shape.relevant(item)]
+            for old, new in updates:
+                was_relevant = shape.relevant(old)
+                is_relevant = shape.relevant(new)
+                if was_relevant and is_relevant:
+                    updated.append(new)
+                elif is_relevant:
+                    inserted.append(new)
+                elif was_relevant:
+                    retracted.append(old)
+            for kind, batch in (
+                ("insert", inserted),
+                ("update", updated),
+                ("retract", retracted),
+            ):
+                if batch:
+                    self._publish_delta(armed, shape, kind, batch)
+
+    def _publish_delta(
+        self,
+        armed: ArmedSubscription,
+        shape: SubscriptionShape,
+        kind: str,
+        items: list[XMLElement],
+    ) -> None:
+        out = shape.apply(items)
+        if not flags.shared_wire_trees:
+            out = [item.copy() for item in out]
+        document = serialize_xml(
+            XMLElement(
+                "delta",
+                {"sub": armed.sub_id, "kind": kind, "seq": str(armed.next_seq)},
+                out,
+            )
+        )
+        envelope = {
+            "document": document,
+            "sub": armed.sub_id,
+            "publisher": self.address,
+            "epoch": armed.epoch,
+            "seq": armed.next_seq,
+            "kind": kind,
+        }
+        armed.log[armed.next_seq] = envelope
+        armed.next_seq += 1
+        while len(armed.log) > self.delta_log_memory:
+            del armed.log[next(iter(armed.log))]
+        self.deltas_published += 1
+        if not armed.paused:
+            self._transmit_delta(armed, envelope)
+
+    def _transmit_delta(self, armed: ArmedSubscription, envelope: dict) -> None:
+        # Keyed by subscription id the way query traffic is keyed by query
+        # id, so the reliable-delivery ack/retry machinery — and the
+        # teardown sweep in _cancel_sub_transfers — apply unchanged.
+        self._send_query_traffic(
+            armed.subscriber,
+            "delta-chunk",
+            dict(envelope),
+            len(envelope["document"]),
+            armed.sub_id,
+        )
+
+    def _handle_delta_ack(self, message: Message) -> None:
+        envelope: dict = message.payload
+        armed = self.armed_subscriptions.get(envelope["sub"])
+        if armed is None:
+            return
+        seq = int(envelope["seq"])
+        if seq > armed.acked_seq:
+            armed.acked_seq = seq
+            for logged in [s for s in armed.log if s <= seq]:
+                del armed.log[logged]
+
+    def _pause_subscription(self, sub_id: str) -> None:
+        """Delivery to the subscriber failed: stop transmitting, keep logging.
+
+        Deltas published while paused accumulate in the replay log; the
+        subscriber's re-subscription (its rejoin path) resumes the feed
+        from its last released sequence.
+        """
+        armed = self.armed_subscriptions.get(sub_id)
+        if armed is not None:
+            armed.paused = True
+
+    # ------------------------------------------------------------------ #
     # Message handling
     # ------------------------------------------------------------------ #
 
@@ -654,6 +1337,16 @@ class QueryPeer(NetworkNode):
             self._handle_result_end(message)
         elif message.kind == "cancel-query":
             self.cancel_query(message.payload)
+        elif message.kind == "subscribe":
+            self._handle_subscribe(message)
+        elif message.kind == "unsubscribe":
+            self._handle_unsubscribe(message)
+        elif message.kind == "delta-chunk":
+            self._handle_delta_chunk(message)
+        elif message.kind == "delta-ack":
+            self._handle_delta_ack(message)
+        elif message.kind == "sub-conflict":
+            self._handle_sub_conflict(message)
         elif message.kind == "register":
             self._handle_register(message)
         elif message.kind == "register-ack":
@@ -1125,9 +1818,11 @@ class QueryPeer(NetworkNode):
         The reliable path stamps the message with a transfer id, remembers
         it in the retransmit queue, and arms a backoff timer on the logical
         clock; fire-and-forget behaviour (and wire bytes) are unchanged
-        when the flag is off.  Only query traffic — plans, results, chunks —
-        rides the protocol: registration and control messages stay
-        fire-and-forget, matching the paper's best-effort catalog.
+        when the flag is off.  Query traffic — plans, results, chunks — and
+        subscription control (subscribe/unsubscribe, keyed by subscription
+        id like deltas are) ride the protocol; exactly-once delta delivery
+        is only as strong as the arming envelope's delivery.  Registration
+        stays fire-and-forget, matching the paper's best-effort catalog.
         """
         if not flags.reliable_delivery:
             return self.send(recipient, kind, payload, size_bytes=size_bytes)
@@ -1215,6 +1910,10 @@ class QueryPeer(NetworkNode):
             stream_state = self._open_streams.get(state.query_id)
             if stream_state is not None and stream_state.stream == envelope.get("stream"):
                 self._teardown_stream(state.query_id)
+        if state.kind == "delta-chunk":
+            # The subscriber is unreachable: pause the feed (the replay log
+            # keeps accumulating) instead of burning retries per delta.
+            self._pause_subscription(state.query_id)
         if state.last_message is not None:
             self._dead_letter(state.last_message)
 
@@ -1252,6 +1951,11 @@ class QueryPeer(NetworkNode):
             message.sender, "register-ack", self.server_entry(), size_bytes=256
         )
         del acknowledgement  # traffic is accounted for by the network metrics
+        if flags.continuous_queries and self.subscription_registry:
+            # A (re)registering server may hold data an armed subscription
+            # watches: push the stored subscriptions back to it so its
+            # matchers re-arm after churn (or arm for the first time).
+            self._rearm_registrant(entry)
 
     def _accepts_registration(self, entry: ServerEntry) -> bool:
         if not ({ServerRole.INDEX, ServerRole.META_INDEX} & self.roles):
@@ -1305,6 +2009,9 @@ class QueryPeer(NetworkNode):
             state = self._open_streams.get(original.payload["query_id"])
             if state is not None and state.stream == original.payload.get("stream"):
                 self._teardown_stream(state.query_id)
+        if original.kind == "delta-chunk":
+            # The subscriber crashed: pause its feed until it resubscribes.
+            self._pause_subscription(original.payload["sub"])
         # Every other undeliverable kind is dead-lettered — results,
         # registrations, acks, unregisters alike.  The previous
         # allowlist silently discarded kinds it did not anticipate,

@@ -59,6 +59,12 @@ class _Flags:
       traffic vs. the seed's fire-and-forget forwarding.  Off by default:
       acks and retries are extra wire traffic, and the byte-identity gates
       compare reports against the fire-and-forget wire behaviour.
+    * ``continuous_queries`` — standing queries: peers accept
+      ``subscribe`` registrations, match mutations against armed plans at
+      publish time, and push ``delta-chunk`` envelopes to subscribers vs.
+      the seed's answer-once-and-die queries.  Off by default: the
+      byte-identity gates compare scenario reports against the
+      snapshot-only wire behaviour.
     """
 
     __slots__ = (
@@ -71,6 +77,7 @@ class _Flags:
         "streaming_results",
         "eager_area_plans",
         "reliable_delivery",
+        "continuous_queries",
     )
 
     def __init__(self) -> None:
@@ -83,6 +90,7 @@ class _Flags:
         self.streaming_results = False
         self.eager_area_plans = False
         self.reliable_delivery = False
+        self.continuous_queries = False
 
 
 flags = _Flags()

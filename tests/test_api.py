@@ -271,6 +271,10 @@ class TestQueryHandleOnBothTransports:
             # items() fails just as loudly — a lost plan is not an empty result.
             with pytest.raises(QueryTimeout, match="idle"):
                 list(handle.items())
+            # ...and so does result iteration: the three waiting surfaces
+            # share one error contract.
+            with pytest.raises(QueryTimeout, match="idle"):
+                list(handle)
 
     def test_partial_result_on_crashed_seller(self, transport):
         with small_cluster(transport) as cluster:
@@ -319,6 +323,40 @@ class TestQueryHandleOnBothTransports:
             )
             seen = list(handle)
             assert seen and seen[-1].partial  # stream closed by idleness
+
+    def test_results_timeout_matches_result_semantics(self, transport):
+        """``results(timeout=...)`` raises QueryTimeout exactly like result()."""
+        with small_cluster(transport) as cluster:
+            client = cluster.session("client:9020")
+            handle = (
+                client.query()
+                .area(portland_area(cluster))
+                .where("price < 10")
+                .submit()
+            )
+            with pytest.raises(QueryTimeout, match="simulated ms"):
+                list(handle.results(timeout=0.5))
+            # The clock only advanced to the deadline; resuming succeeds.
+            seen = list(handle.results(timeout=60_000))
+            assert seen and not seen[-1].partial
+
+    def test_iteration_raises_peer_offline(self, transport):
+        """Iterating with the issuer offline fails loudly on every surface."""
+        with small_cluster(transport) as cluster:
+            client = cluster.session("client:9020")
+            handle = (
+                client.query()
+                .area(portland_area(cluster))
+                .where("price < 10")
+                .submit()
+            )
+            client.crash()
+            with pytest.raises(PeerOffline):
+                list(handle)
+            with pytest.raises(PeerOffline):
+                list(handle.items())
+            with pytest.raises(PeerOffline):
+                handle.result(timeout=60_000)
 
     def test_offline_peer_cannot_issue(self, transport):
         with small_cluster(transport) as cluster:
@@ -418,6 +456,26 @@ class TestDeprecationShims:
                 item.child_text("title") for item in peer.results[mqp.query_id].items
             }
         assert new_titles == old_titles
+
+    def test_register_with_raw_peer_warns(self, namespace):
+        with small_cluster() as cluster:
+            seller = cluster.session("seller1:9020")
+            index_peer = cluster.session("index-or:9020").peer
+            with pytest.warns(DeprecationWarning, match="raw QueryPeer"):
+                seller.register(index_peer)
+            # The supported spellings stay silent.
+            seller.register(cluster.session("index-or:9020"))
+            seller.register("index-or:9020")
+            cluster.run_until_idle()
+
+    def test_learn_about_with_raw_peer_warns(self, namespace):
+        with small_cluster() as cluster:
+            client = cluster.session("client:9020")
+            seller_peer = cluster.session("seller1:9020").peer
+            with pytest.warns(DeprecationWarning, match="raw QueryPeer"):
+                client.learn_about(seller_peer)
+            client.learn_about(cluster.session("seller2:9020"))
+            client.learn_about(seller_peer.server_entry())
 
 
 class TestSessionSurface:

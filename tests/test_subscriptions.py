@@ -1,0 +1,701 @@
+"""Continuous queries: publish-time matching, delta feeds, teardown, churn.
+
+The suite covers the full standing-query protocol end-to-end:
+
+* shape validation and the trie matcher (unit level);
+* the ``flags.continuous_queries`` gate (off by default);
+* delta feeds on both transports — insert/update/retract classification
+  through each subscription's own predicate, projection applied at the
+  publisher, in-order release, duplicate suppression;
+* teardown — ``unsubscribe`` clears armed matchers, authority registries
+  and pending retransmission timers at every hop;
+* churn — a subscriber crash/rejoin resumes from its last released
+  sequence, a failed-over authority re-arms publishers from its durable
+  registry, conflicting authorities surface (MOAS-style) instead of
+  double-delivering, and a flash crowd of 100 subscribers under seeded
+  loss still sees exactly-once delivery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import PlanBuilder
+from repro.algebra.serialization import serialize_plan
+from repro.api import Cluster, Subscription
+from repro.catalog.matcher import SubscriptionMatcher, subscribable_shape
+from repro.errors import PeerError, PlanError
+from repro.namespace import InterestAreaURN, garage_sale_namespace
+from repro.network import FaultPlan
+from repro.peers.subscriptions import PublisherFeed, SubscriberState, epoch_counter
+from repro.perf import overrides
+from repro.xmlmodel import XMLElement, serialize_xml
+from tests.conftest import make_item
+
+TRANSPORTS = ("sim", "aio")
+
+
+def portland_area(namespace):
+    return namespace.area(["USA/OR/Portland", "Music/CDs"])
+
+
+def area_urn(area) -> str:
+    return str(InterestAreaURN.for_area(area))
+
+
+def subscription_cluster(transport, namespace, faults=None):
+    """Two Portland sellers, an authoritative Oregon index, a meta, a client."""
+    cluster = Cluster(transport, namespace=namespace, faults=faults)
+    portland = portland_area(namespace)
+    seller1 = cluster.base_server("seller1:9020", portland)
+    seller1.publish(
+        "cds",
+        [
+            make_item("Abbey Road", 8.0, seller="seller1:9020"),
+            make_item("Kind of Blue", 12.5, seller="seller1:9020"),
+        ],
+    )
+    seller2 = cluster.base_server("seller2:9020", portland)
+    seller2.publish("cds", [make_item("Blue Train", 6.0, seller="seller2:9020")])
+    cluster.index_server("index-or:9020", namespace.area(["USA/OR", "*"]))
+    cluster.meta_index("meta:9020")
+    cluster.client("client:9020")
+    cluster.connect()
+    return cluster
+
+
+def audit_exactly_once(state: SubscriberState) -> dict:
+    """Assert the released deltas are exactly-once, in order, per feed.
+
+    Within one ``(publisher, epoch)`` feed the released sequence numbers
+    must be contiguous with no duplicates; across feeds no
+    ``(publisher, epoch, seq)`` triple may repeat.  Returns the map of
+    feed → released sequence list for further assertions.
+    """
+    seen: set[tuple[str, str, int]] = set()
+    per_feed: dict[tuple[str, str], list[int]] = {}
+    for delta in state.deltas:
+        triple = (delta.publisher, delta.epoch, delta.seq)
+        assert triple not in seen, f"duplicate delivery: {triple}"
+        seen.add(triple)
+        per_feed.setdefault((delta.publisher, delta.epoch), []).append(delta.seq)
+    for (publisher, epoch), seqs in per_feed.items():
+        expected = list(range(seqs[0], seqs[0] + len(seqs)))
+        assert seqs == expected, f"feed {publisher}/{epoch}: released {seqs}"
+    return per_feed
+
+
+class _Msg:
+    """A fake in-flight message, enough for direct handler invocation."""
+
+    def __init__(self, kind: str, payload, sender: str = "elsewhere:9020"):
+        self.kind = kind
+        self.payload = payload
+        self.sender = sender
+        self.transfer = None
+
+
+# --------------------------------------------------------------------------- #
+# Shape validation
+# --------------------------------------------------------------------------- #
+
+
+class TestSubscribableShape:
+    def test_select_project_over_area_decomposes(self, namespace):
+        area = portland_area(namespace)
+        plan = (
+            PlanBuilder.urn(area_urn(area))
+            .select("price < 10")
+            .project([("title", "title")])
+            .display("client:9020")
+        )
+        shape = subscribable_shape(plan)
+        assert shape.area == area
+        assert shape.predicate is not None
+        assert shape.columns == (("title", "title"),)
+        assert shape.relevant(make_item("Cheap", 5.0))
+        assert not shape.relevant(make_item("Dear", 50.0))
+        projected = shape.apply([make_item("Cheap", 5.0)])
+        assert [item.child_text("title") for item in projected] == ["Cheap"]
+        assert projected[0].find("price") is None
+
+    def test_bare_area_is_subscribable(self, namespace):
+        area = portland_area(namespace)
+        shape = subscribable_shape(PlanBuilder.urn(area_urn(area)).display("c:1"))
+        assert shape.predicate is None and shape.columns is None
+        assert shape.relevant(make_item("Anything", 999.0))
+
+    def test_stacked_selects_conjoin(self, namespace):
+        area = portland_area(namespace)
+        plan = (
+            PlanBuilder.urn(area_urn(area))
+            .select("price < 10")
+            .select("price > 6")
+            .display("c:1")
+        )
+        shape = subscribable_shape(plan)
+        assert shape.relevant(make_item("Mid", 8.0))
+        assert not shape.relevant(make_item("Low", 5.0))
+
+    def test_url_source_rejected(self):
+        with pytest.raises(PlanError, match="subscribable"):
+            subscribable_shape(PlanBuilder.url("http://host/data.xml").display("c:1"))
+
+    def test_named_resource_urn_rejected(self):
+        with pytest.raises(PlanError, match="interest-area"):
+            subscribable_shape(PlanBuilder.urn("urn:ForSale:Portland-CDs").display("c:1"))
+
+    def test_aggregate_rejected(self, namespace):
+        area = portland_area(namespace)
+        with pytest.raises(PlanError, match="subscribable"):
+            subscribable_shape(PlanBuilder.urn(area_urn(area)).count().display("c:1"))
+
+    def test_join_rejected(self, namespace):
+        area = portland_area(namespace)
+        plan = (
+            PlanBuilder.urn(area_urn(area))
+            .join(PlanBuilder.urn(area_urn(area)), on=("seller", "seller"))
+            .display("c:1")
+        )
+        with pytest.raises(PlanError, match="subscribable"):
+            subscribable_shape(plan)
+
+
+# --------------------------------------------------------------------------- #
+# The matcher
+# --------------------------------------------------------------------------- #
+
+
+class TestMatcher:
+    def test_arm_match_disarm(self, namespace):
+        portland = portland_area(namespace)
+        furniture = namespace.area(["USA/WA", "Furniture"])
+        matcher = SubscriptionMatcher()
+        matcher.arm("sub-cds", subscribable_shape(
+            PlanBuilder.urn(area_urn(portland)).display("c:1")))
+        matcher.arm("sub-furniture", subscribable_shape(
+            PlanBuilder.urn(area_urn(furniture)).display("c:1")))
+        assert len(matcher) == 2 and "sub-cds" in matcher
+
+        assert [sub for sub, _ in matcher.matching(portland)] == ["sub-cds"]
+        assert [sub for sub, _ in matcher.matching(furniture)] == ["sub-furniture"]
+        # A broader mutation area overlaps both registrations, id-ordered.
+        oregon_and_wa = namespace.area(["USA", "*"])
+        assert [sub for sub, _ in matcher.matching(oregon_and_wa)] == [
+            "sub-cds",
+            "sub-furniture",
+        ]
+
+        assert matcher.disarm("sub-cds") is True
+        assert matcher.disarm("sub-cds") is False
+        assert matcher.matching(portland) == []
+        assert len(matcher) == 1
+
+    def test_rearming_replaces(self, namespace):
+        portland = portland_area(namespace)
+        furniture = namespace.area(["USA/WA", "Furniture"])
+        matcher = SubscriptionMatcher()
+        matcher.arm("sub", subscribable_shape(
+            PlanBuilder.urn(area_urn(portland)).display("c:1")))
+        matcher.arm("sub", subscribable_shape(
+            PlanBuilder.urn(area_urn(furniture)).display("c:1")))
+        assert len(matcher) == 1
+        assert matcher.matching(portland) == []
+        assert [sub for sub, _ in matcher.matching(furniture)] == ["sub"]
+
+
+# --------------------------------------------------------------------------- #
+# The feature flag gate
+# --------------------------------------------------------------------------- #
+
+
+class TestFlagGate:
+    def test_subscribe_requires_flag(self, namespace):
+        with subscription_cluster("sim", namespace) as cluster:
+            client = cluster.session("client:9020")
+            with pytest.raises(PeerError, match="continuous_queries"):
+                client.query().area(portland_area(namespace)).subscribe()
+
+    def test_straggler_subscribe_ignored_when_flag_off(self, namespace):
+        with subscription_cluster("sim", namespace) as cluster:
+            seller = cluster.session("seller1:9020").peer
+            document = serialize_plan(
+                PlanBuilder.urn(area_urn(portland_area(namespace))).display("client:9020")
+            )
+            seller._handle_subscribe(_Msg("subscribe", {
+                "document": document,
+                "sub": "client:9020#sub1",
+                "subscriber": "client:9020",
+                "authority": "",
+                "resume": {},
+                "hops": 0,
+            }))
+            assert seller.armed_subscriptions == {}
+            assert seller.subscription_registry == {}
+            assert len(seller.matcher) == 0
+
+
+# --------------------------------------------------------------------------- #
+# Delta feeds end-to-end (both transports)
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+class TestDeltaFeed:
+    def test_mutations_classify_through_the_predicate(self, transport, namespace):
+        with overrides(continuous_queries=True):
+            with subscription_cluster(transport, namespace) as cluster:
+                client = cluster.session("client:9020")
+                seller1 = cluster.session("seller1:9020")
+                seller2 = cluster.session("seller2:9020")
+                sub = (
+                    client.query()
+                    .area(portland_area(namespace))
+                    .where("price < 10")
+                    .subscribe()
+                )
+                cluster.run_until_idle()
+                assert sub.active
+
+                # Insert below the predicate: an insert delta.
+                seller1.update("cds", [make_item("New CD", 3.0, seller="seller1:9020")])
+                # In-place change, still matching: an update delta.
+                seller1.update("cds", [make_item("New CD", 4.0, seller="seller1:9020")])
+                # Price crosses the boundary: *this* subscriber sees a retract.
+                seller1.update("cds", [make_item("New CD", 30.0, seller="seller1:9020")])
+                # A retract at the other seller: a retract delta from there.
+                removed = seller2.retract("cds", predicate="price < 10")
+                assert [item.child_text("title") for item in removed] == ["Blue Train"]
+                cluster.run_until_idle()
+
+                state = client.peer.my_subscriptions[sub.sub_id]
+                assert [
+                    (d.kind, d.publisher, [i.child_text("title") for i in d.items])
+                    for d in state.deltas
+                ] == [
+                    ("insert", "seller1:9020", ["New CD"]),
+                    ("update", "seller1:9020", ["New CD"]),
+                    ("retract", "seller1:9020", ["New CD"]),
+                    ("retract", "seller2:9020", ["Blue Train"]),
+                ]
+                audit_exactly_once(state)
+                assert sub.lag() == len(state.deltas)
+                assert [d.kind for d in sub.deltas(limit=4)] == [
+                    "insert", "update", "retract", "retract",
+                ]
+                assert sub.lag() == 0
+
+    def test_projection_applies_at_the_publisher(self, transport, namespace):
+        with overrides(continuous_queries=True):
+            with subscription_cluster(transport, namespace) as cluster:
+                client = cluster.session("client:9020")
+                seller1 = cluster.session("seller1:9020")
+                sub = (
+                    client.query()
+                    .area(portland_area(namespace))
+                    .where("price < 10")
+                    .project([("title", "title")])
+                    .subscribe()
+                )
+                cluster.run_until_idle()
+                seller1.update("cds", [make_item("Slim CD", 2.0, seller="seller1:9020")])
+                cluster.run_until_idle()
+                (delta,) = list(sub.deltas(limit=1))
+                (item,) = delta.items
+                assert item.child_text("title") == "Slim CD"
+                assert item.find("price") is None
+
+    def test_acks_trim_the_replay_log(self, transport, namespace):
+        with overrides(continuous_queries=True, reliable_delivery=True):
+            with subscription_cluster(transport, namespace) as cluster:
+                client = cluster.session("client:9020")
+                seller1 = cluster.session("seller1:9020")
+                sub = (
+                    client.query()
+                    .area(portland_area(namespace))
+                    .where("price < 10")
+                    .subscribe()
+                )
+                cluster.run_until_idle()
+                for round_ in range(3):
+                    seller1.update(
+                        "cds",
+                        [make_item(f"CD {round_}", 1.0 + round_, seller="seller1:9020")],
+                    )
+                cluster.run_until_idle()
+                armed = seller1.peer.armed_subscriptions[sub.sub_id]
+                assert armed.next_seq == 3
+                assert armed.acked_seq == 2
+                assert armed.log == {}
+                assert seller1.peer._pending_transfers == {}
+
+
+class TestInOrderRelease:
+    """Frame-level behaviour of the subscriber's release path."""
+
+    def _subscriber(self, cluster, publisher: str, namespace):
+        client = cluster.session("client:9020").peer
+        plan = PlanBuilder.urn(area_urn(portland_area(namespace))).display("client:9020")
+        state = SubscriberState(sub_id="client:9020#subX", document=serialize_plan(plan))
+        client.my_subscriptions[state.sub_id] = state
+        return client, state
+
+    def _envelope(self, sub_id: str, publisher: str, epoch: str, seq: int, title: str):
+        document = serialize_xml(XMLElement(
+            "delta",
+            {"sub": sub_id, "kind": "insert", "seq": str(seq)},
+            [make_item(title, 5.0)],
+        ))
+        return {
+            "document": document,
+            "sub": sub_id,
+            "publisher": publisher,
+            "epoch": epoch,
+            "seq": seq,
+            "kind": "insert",
+        }
+
+    def test_out_of_order_frames_release_in_sequence(self, namespace):
+        with overrides(continuous_queries=True):
+            with subscription_cluster("sim", namespace) as cluster:
+                client, state = self._subscriber(cluster, "seller1:9020", namespace)
+                epoch = "seller1:9020/e1"
+                late = self._envelope(state.sub_id, "seller1:9020", epoch, 1, "Second")
+                early = self._envelope(state.sub_id, "seller1:9020", epoch, 0, "First")
+                client._handle_delta_chunk(_Msg("delta-chunk", late, sender="seller1:9020"))
+                assert state.deltas == []  # held until the gap fills
+                client._handle_delta_chunk(_Msg("delta-chunk", early, sender="seller1:9020"))
+                assert [d.seq for d in state.deltas] == [0, 1]
+                assert [d.items[0].child_text("title") for d in state.deltas] == [
+                    "First", "Second",
+                ]
+                audit_exactly_once(state)
+
+    def test_duplicate_frames_are_suppressed_and_reacked(self, namespace):
+        with overrides(continuous_queries=True):
+            with subscription_cluster("sim", namespace) as cluster:
+                client, state = self._subscriber(cluster, "seller1:9020", namespace)
+                frame = self._envelope(
+                    state.sub_id, "seller1:9020", "seller1:9020/e1", 0, "Once"
+                )
+                client._handle_delta_chunk(_Msg("delta-chunk", frame, sender="seller1:9020"))
+                client._handle_delta_chunk(
+                    _Msg("delta-chunk", dict(frame), sender="seller1:9020")
+                )
+                assert len(state.deltas) == 1
+                assert client.delta_duplicates == 1
+                audit_exactly_once(state)
+
+    def test_stale_epoch_frames_are_dropped(self, namespace):
+        with overrides(continuous_queries=True):
+            with subscription_cluster("sim", namespace) as cluster:
+                client, state = self._subscriber(cluster, "seller1:9020", namespace)
+                state.feeds["seller1:9020"] = PublisherFeed(epoch="seller1:9020/e2")
+                stale = self._envelope(
+                    state.sub_id, "seller1:9020", "seller1:9020/e1", 0, "Stale"
+                )
+                client._handle_delta_chunk(_Msg("delta-chunk", stale, sender="seller1:9020"))
+                assert state.deltas == []
+                assert state.feeds["seller1:9020"].epoch == "seller1:9020/e2"
+
+    def test_straggler_feed_triggers_one_unsubscribe(self, namespace):
+        with overrides(continuous_queries=True):
+            with subscription_cluster("sim", namespace) as cluster:
+                client = cluster.session("client:9020")
+                seller1 = cluster.session("seller1:9020")
+                sub = (
+                    client.query()
+                    .area(portland_area(namespace))
+                    .where("price < 10")
+                    .subscribe()
+                )
+                cluster.run_until_idle()
+                assert sub.sub_id in seller1.peer.armed_subscriptions
+                # The subscriber loses its state without telling anyone —
+                # the amnesiac-rejoin case a graceful unsubscribe never covers.
+                del client.peer.my_subscriptions[sub.sub_id]
+                seller1.update("cds", [make_item("Orphan", 1.0, seller="seller1:9020")])
+                cluster.run_until_idle()
+                # The straggler delta bounced back as a one-shot unsubscribe
+                # and the publisher tore the feed down.
+                assert sub.sub_id not in seller1.peer.armed_subscriptions
+                assert (sub.sub_id, "seller1:9020") in client.peer._cancel_notified
+                assert client.peer.deltas_delivered == 0
+
+
+# --------------------------------------------------------------------------- #
+# Teardown (unsubscribe / close) across every hop
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+class TestTeardownOnBothTransports:
+    def test_unsubscribe_clears_every_hop(self, transport, namespace):
+        with overrides(continuous_queries=True, reliable_delivery=True):
+            with subscription_cluster(transport, namespace) as cluster:
+                client = cluster.session("client:9020")
+                sub = (
+                    client.query()
+                    .area(portland_area(namespace))
+                    .where("price < 10")
+                    .subscribe()
+                )
+                cluster.run_until_idle()
+                for seller in ("seller1:9020", "seller2:9020"):
+                    assert sub.sub_id in cluster.session(seller).peer.armed_subscriptions
+                for authority in ("index-or:9020", "meta:9020"):
+                    registry = cluster.session(authority).peer.subscription_registry
+                    assert sub.sub_id in registry
+
+                sub.unsubscribe()
+                cluster.run_until_idle()
+
+                assert not sub.active
+                assert client.peer.my_subscriptions == {}
+                for address in (
+                    "seller1:9020", "seller2:9020", "index-or:9020", "meta:9020",
+                ):
+                    peer = cluster.session(address).peer
+                    assert peer.armed_subscriptions == {}, address
+                    assert peer.subscription_registry == {}, address
+                    assert len(peer.matcher) == 0, address
+                    assert peer._pending_transfers == {}, address
+
+
+class TestTeardownTimers:
+    def test_unsubscribe_cancels_pending_retransmissions(self, namespace):
+        with overrides(continuous_queries=True, reliable_delivery=True):
+            with subscription_cluster("sim", namespace) as cluster:
+                client = cluster.session("client:9020")
+                seller1 = cluster.session("seller1:9020")
+                sub = (
+                    client.query()
+                    .area(portland_area(namespace))
+                    .where("price < 10")
+                    .subscribe()
+                )
+                cluster.run_until_idle()
+
+                # Crash the subscriber, then mutate: the delta transfer sits
+                # in the retransmit queue with a live backoff timer.
+                client.crash()
+                seller1.update("cds", [make_item("Doomed", 1.0, seller="seller1:9020")])
+                pending = [
+                    state for state in seller1.peer._pending_transfers.values()
+                    if state.query_id == sub.sub_id
+                ]
+                assert pending, "the delta transfer should be awaiting its ack"
+                timers = [state.timer for state in pending if state.timer is not None]
+                assert timers, "a retransmission timer should be armed"
+                dead_letters_before = len(seller1.peer.dead_letters)
+
+                # An unsubscribe notice arriving at the publisher sweeps the
+                # queue and cancels every timer for that subscription.
+                seller1.peer._handle_unsubscribe(
+                    _Msg("unsubscribe", {"sub": sub.sub_id, "hops": 0})
+                )
+                assert seller1.peer._pending_transfers == {}
+                assert all(timer.cancelled for timer in timers)
+                assert sub.sub_id not in seller1.peer.armed_subscriptions
+
+                # And with no timer left to fire, no retry burns out into a
+                # dead letter afterwards.
+                cluster.run_until_idle()
+                assert len(seller1.peer.dead_letters) == dead_letters_before
+                assert seller1.peer.transfers_failed == 0
+
+    def test_unsubscribe_is_idempotent(self, namespace):
+        with overrides(continuous_queries=True):
+            with subscription_cluster("sim", namespace) as cluster:
+                client = cluster.session("client:9020")
+                sub = client.query().area(portland_area(namespace)).subscribe()
+                cluster.run_until_idle()
+                sub.unsubscribe()
+                sub.unsubscribe()  # a second teardown is a no-op
+                with sub:  # context exit after manual teardown: still a no-op
+                    pass
+                cluster.run_until_idle()
+                assert not sub.active
+                assert client.peer.my_subscriptions == {}
+
+
+# --------------------------------------------------------------------------- #
+# Churn: resume, failover, conflicting authorities, flash crowd
+# --------------------------------------------------------------------------- #
+
+
+class TestChurn:
+    def test_subscriber_crash_and_rejoin_resumes_from_acked(self, namespace):
+        with overrides(continuous_queries=True, reliable_delivery=True):
+            with subscription_cluster("sim", namespace) as cluster:
+                client = cluster.session("client:9020")
+                seller1 = cluster.session("seller1:9020")
+                sub = (
+                    client.query()
+                    .area(portland_area(namespace))
+                    .where("price < 10")
+                    .subscribe()
+                )
+                cluster.run_until_idle()
+                seller1.update("cds", [make_item("CD 0", 1.0, seller="seller1:9020")])
+                cluster.run_until_idle()
+                assert len(client.peer.my_subscriptions[sub.sub_id].deltas) == 1
+
+                # The subscriber crashes; the publisher's delivery fails and
+                # the feed pauses, logging deltas it cannot transmit.
+                client.crash()
+                seller1.update("cds", [make_item("CD 1", 2.0, seller="seller1:9020")])
+                cluster.run_until_idle()
+                armed = seller1.peer.armed_subscriptions[sub.sub_id]
+                assert armed.paused
+                seller1.update("cds", [make_item("CD 2", 3.0, seller="seller1:9020")])
+                assert set(armed.log) == {1, 2}
+
+                # Rejoining re-subscribes with resume tokens: the publisher
+                # replays exactly the unseen suffix — no gaps, no duplicates.
+                client.rejoin()
+                cluster.run_until_idle()
+                state = client.peer.my_subscriptions[sub.sub_id]
+                assert [d.items[0].child_text("title") for d in state.deltas] == [
+                    "CD 0", "CD 1", "CD 2",
+                ]
+                per_feed = audit_exactly_once(state)
+                (seqs,) = per_feed.values()  # one publisher, one epoch throughout
+                assert seqs == [0, 1, 2]
+                assert client.peer.resubscribes >= 1
+                assert client.peer.delta_duplicates == 0
+                assert client.peer.delta_gaps == 0
+                assert not seller1.peer.armed_subscriptions[sub.sub_id].paused
+
+    def test_authority_failover_rearms_publishers_fresh_epoch(self, namespace):
+        with overrides(continuous_queries=True, reliable_delivery=True):
+            with subscription_cluster("sim", namespace) as cluster:
+                client = cluster.session("client:9020")
+                seller1 = cluster.session("seller1:9020")
+                index = cluster.session("index-or:9020")
+                sub = (
+                    client.query()
+                    .area(portland_area(namespace))
+                    .where("price < 10")
+                    .subscribe()
+                )
+                cluster.run_until_idle()
+                seller1.update("cds", [make_item("Early CD", 1.0, seller="seller1:9020")])
+                cluster.run_until_idle()
+
+                # The authority and the publisher both crash: the armed
+                # matcher state is in-RAM and dies with the publisher; the
+                # authority's subscription registry is its durable store.
+                index.crash()
+                seller1.crash()
+                index.rejoin()
+                seller1.rejoin()
+                cluster.run_until_idle()
+
+                # Re-registration re-armed the publisher from the registry,
+                # under a fresh epoch (its in-RAM feed state is gone).
+                armed = seller1.peer.armed_subscriptions[sub.sub_id]
+                assert armed.authority == "index-or:9020"
+                assert epoch_counter(armed.epoch) > 1
+
+                seller1.update("cds", [make_item("Late CD", 2.0, seller="seller1:9020")])
+                cluster.run_until_idle()
+                state = client.peer.my_subscriptions[sub.sub_id]
+                titles = [d.items[0].child_text("title") for d in state.deltas]
+                assert titles == ["Early CD", "Late CD"]
+                per_feed = audit_exactly_once(state)
+                epochs = sorted(epoch_counter(epoch) for _, epoch in per_feed)
+                assert len(epochs) == 2 and epochs[0] < epochs[1]
+                # The subscriber never churned: the re-arm came from the
+                # authority's registry, not from a client re-subscription.
+                assert client.peer.resubscribes == 0
+
+    def test_conflicting_authorities_surface_not_double_deliver(self, namespace):
+        portland = portland_area(namespace)
+        oregon = namespace.area(["USA/OR", "*"])
+        with overrides(continuous_queries=True, reliable_delivery=True):
+            with Cluster("sim", namespace=namespace) as cluster:
+                seller1 = cluster.base_server("seller1:9020", portland)
+                seller1.publish(
+                    "cds", [make_item("Abbey Road", 8.0, seller="seller1:9020")]
+                )
+                # Two index servers both claim authority over Oregon — the
+                # MOAS analogue of two ASes originating one prefix.
+                cluster.index_server("index-a:9020", oregon, authoritative=True)
+                cluster.index_server("index-b:9020", oregon, authoritative=True)
+                cluster.meta_index("meta:9020")
+                client = cluster.client("client:9020")
+                cluster.connect()
+                # Make sure the seller is catalogued under *both* claimants.
+                seller1.register("index-a:9020", "index-b:9020")
+                cluster.run_until_idle()
+
+                sub = client.query().area(portland).where("price < 10").subscribe()
+                cluster.run_until_idle()
+
+                # One authority won the arming; the other's claim was
+                # surfaced to the subscriber instead of arming twice.
+                armed = seller1.peer.armed_subscriptions[sub.sub_id]
+                assert armed.authority in ("index-a:9020", "index-b:9020")
+                assert seller1.peer.authority_conflicts >= 1
+                conflicts = sub.conflicts()
+                assert conflicts, "the authority overlap should reach the subscriber"
+                assert conflicts[0]["publisher"] == "seller1:9020"
+                assert conflicts[0]["authorities"] == ["index-a:9020", "index-b:9020"]
+
+                # And crucially: one mutation, one delta — never two.
+                seller1.update("cds", [make_item("New CD", 3.0, seller="seller1:9020")])
+                cluster.run_until_idle()
+                state = client.peer.my_subscriptions[sub.sub_id]
+                assert [d.items[0].child_text("title") for d in state.deltas] == ["New CD"]
+                audit_exactly_once(state)
+
+    def test_flash_crowd_exactly_once_under_loss(self, namespace):
+        portland = portland_area(namespace)
+        subscribers = [f"c{i:03d}:9020" for i in range(100)]
+        with overrides(continuous_queries=True, reliable_delivery=True):
+            with Cluster(
+                "sim", namespace=namespace, faults=FaultPlan(seed=11, loss=0.10)
+            ) as cluster:
+                seller = cluster.base_server("seller:9020", portland)
+                seller.publish(
+                    "cds", [make_item("Abbey Road", 8.0, seller="seller:9020")]
+                )
+                cluster.index_server("index-or:9020", namespace.area(["USA/OR", "*"]))
+                cluster.meta_index("meta:9020")
+                for address in subscribers:
+                    cluster.client(address)
+                cluster.connect()
+
+                subs = {
+                    address: cluster.session(address)
+                    .query()
+                    .area(portland)
+                    .where("price < 100")
+                    .subscribe()
+                    for address in subscribers
+                }
+                cluster.run_until_idle()
+                assert len(seller.peer.armed_subscriptions) == len(subscribers)
+
+                # Three mutation rounds on the one hot collection.
+                seller.update("cds", [make_item("Flash CD", 3.0, seller="seller:9020")])
+                cluster.run_until_idle()
+                seller.update("cds", [make_item("Flash CD", 4.0, seller="seller:9020")])
+                cluster.run_until_idle()
+                removed = seller.retract("cds", keys=["seller:9020-Flash CD"])
+                assert len(removed) == 1
+                cluster.run_until_idle()
+
+                # Every subscriber saw every delta exactly once, in order,
+                # despite 10% seeded frame loss on every link.
+                for address in subscribers:
+                    peer = cluster.session(address).peer
+                    state = peer.my_subscriptions[subs[address].sub_id]
+                    assert [d.kind for d in state.deltas] == [
+                        "insert", "update", "retract",
+                    ], address
+                    per_feed = audit_exactly_once(state)
+                    (seqs,) = per_feed.values()
+                    assert seqs == [0, 1, 2], address
+                    assert peer.delta_gaps == 0, address
