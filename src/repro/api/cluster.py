@@ -51,6 +51,7 @@ from ..peers import (
 from .session import Session
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from ..catalogtier import ShardMap
     from ..network import NetworkMetrics
 
 __all__ = ["Cluster"]
@@ -178,6 +179,55 @@ class Cluster:
         clients = [session.peer for session in self.sessions() if _is_pure_client(session.peer)]
         metas = [session.peer for session in self.sessions() if _is_meta_index(session.peer)]
         seed_with_meta_index(clients, metas)
+
+    def join_catalog_tier(self, shard_map: "ShardMap") -> None:
+        """Hand every joined peer the sharded catalog tier's shard map.
+
+        Call before :meth:`connect` so registrations fan out to whole
+        replica groups.  Replica members attach their answer caches on
+        join; peers joining later can be joined individually via
+        :meth:`repro.peers.QueryPeer.join_catalog_tier`.
+        """
+        for peer in self.peers():
+            peer.join_catalog_tier(shard_map)
+
+    def catalog_tier_stats(self) -> dict[str, object]:
+        """Aggregate catalog-tier counters across every joined peer.
+
+        Returns shard/replica-group structure, summed answer-cache
+        counters over the replica servers, and the failover/reconciliation
+        totals — the same numbers the scale-out report's ``catalog_tier``
+        block carries, exposed for API consumers.
+        """
+        peers = self.peers()
+        maps = [peer.shard_map for peer in peers if peer.shard_map is not None]
+        if not maps:
+            return {"enabled": False}
+        shard_map = maps[0]
+        caches = [
+            peer.catalog.answer_cache
+            for peer in peers
+            if peer.catalog.answer_cache is not None
+        ]
+        hits = sum(cache.hits for cache in caches)
+        misses = sum(cache.misses for cache in caches)
+        total = hits + misses
+        return {
+            "enabled": True,
+            "shards": shard_map.shards,
+            "groups": [list(group.members) for group in shard_map.groups],
+            "answer_cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": round(hits / total, 4) if total else 0.0,
+                "invalidations": sum(cache.invalidations for cache in caches),
+                "evictions": sum(cache.evictions for cache in caches),
+            },
+            "tier_failovers": sum(peer.tier_failovers for peer in peers),
+            "reconciliations": sum(peer.reconciliations for peer in peers),
+            "recon_entries_adopted": sum(peer.recon_entries_adopted for peer in peers),
+            "recon_conflicts": sum(len(peer.recon_conflicts) for peer in peers),
+        }
 
     def wire_topology(
         self,

@@ -14,6 +14,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..namespace import InterestArea
+from .entries import canonical_address
 
 __all__ = ["CacheEntry", "RoutingCache"]
 
@@ -68,8 +69,19 @@ class RoutingCache:
             self._entries.popitem(last=False)
 
     def forget_server(self, server: str) -> None:
-        """Drop every cached hint that points at ``server``."""
-        stale = [key for key, entry in self._entries.items() if entry.server == server]
+        """Drop every cached hint that points at ``server``.
+
+        Addresses are compared in canonical form, exactly like
+        :meth:`Catalog.prune_server`: a hint remembered under
+        ``http://host:port/`` must not survive the pruning of ``host:port``,
+        or churn handling leaves a stale route aimed at a dead peer.
+        """
+        target = canonical_address(server)
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if canonical_address(entry.server) == target
+        ]
         for key in stale:
             del self._entries[key]
 

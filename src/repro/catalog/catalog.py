@@ -16,6 +16,7 @@ index, and are what the equivalence tests diff the index against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..errors import CatalogError
 from ..namespace import InterestArea
@@ -29,6 +30,9 @@ from .entries import (
 )
 from .index import CatalogIndex, StatementIndex
 from .intensional import CatalogLevel, IntensionalStatement
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (avoids a cycle)
+    from ..catalogtier.answercache import AnswerCache
 
 __all__ = ["Catalog"]
 
@@ -46,11 +50,21 @@ class Catalog:
         self._index = CatalogIndex()
         self._statement_index = StatementIndex()
         self._statement_keys: set[IntensionalStatement] = set()
+        self.answer_cache: AnswerCache | None = None
         for entry in self.servers.values():
             self._index.add(entry)
         for sequence, statement in enumerate(self.statements):
             self._statement_keys.add(statement)
             self._statement_index.add(sequence, statement)
+
+    def attach_answer_cache(self, cache: "AnswerCache") -> None:
+        """Memoize lookup answers in ``cache`` (the sharded tier's hot path).
+
+        Consulted only while :data:`repro.perf.flags.catalog_tier` is on;
+        invalidation runs whenever a cache is attached, so toggling the
+        flag mid-process can never surface a stale answer.
+        """
+        self.answer_cache = cache
 
     # -- registration -------------------------------------------------------- #
 
@@ -66,6 +80,7 @@ class Catalog:
         if existing is None or entry.covers(existing.area):
             self.servers[entry.address] = entry
             self._index.add(entry)
+            self._invalidate_answers(entry.area)
             return
         merged = ServerEntry(
             address=entry.address,
@@ -77,6 +92,7 @@ class Catalog:
         )
         self.servers[entry.address] = merged
         self._index.add(merged)
+        self._invalidate_answers(merged.area)
 
     def register_named_resource(self, entry: NamedResourceEntry) -> None:
         """Add resolution data for an application-level URN."""
@@ -98,11 +114,14 @@ class Catalog:
         self._statement_keys.add(statement)
         self._statement_index.add(len(self.statements), statement)
         self.statements.append(statement)
+        self._invalidate_answers(statement.lhs.area)
 
     def forget_server(self, address: str) -> None:
         """Drop a server (e.g. after repeated failures)."""
-        if self.servers.pop(address, None) is not None:
+        dropped = self.servers.pop(address, None)
+        if dropped is not None:
             self._index.discard(address)
+            self._invalidate_answers(dropped.area)
 
     def prune_server(self, address: str) -> int:
         """Purge everything that routes through an unreachable server.
@@ -114,8 +133,10 @@ class Catalog:
         re-propagation, so pruning is safe under churn.
         """
         removed = 0
-        if self.servers.pop(address, None) is not None:
+        pruned = self.servers.pop(address, None)
+        if pruned is not None:
             self._index.discard(address)
+            self._invalidate_answers(pruned.area)
             removed += 1
         target = canonical_address(address)
         replacements: dict[str, NamedResourceEntry | None] = {}
@@ -163,9 +184,15 @@ class Catalog:
         roles: tuple[ServerRole, ...] | None = None,
     ) -> list[ServerEntry]:
         """Servers whose interest area overlaps ``area`` (optionally by role)."""
+        cached = self._cached_answer("overlap", area, roles)
+        if cached is not None:
+            return cached
         if flags.indexed_catalog:
-            return self._index.overlapping(area, roles)
-        return self._scan_overlapping(area, roles)
+            result = self._index.overlapping(area, roles)
+        else:
+            result = self._scan_overlapping(area, roles)
+        self._store_answer("overlap", area, roles, result)
+        return result
 
     def servers_covering(
         self,
@@ -173,9 +200,15 @@ class Catalog:
         roles: tuple[ServerRole, ...] | None = None,
     ) -> list[ServerEntry]:
         """Servers whose interest area covers all of ``area``."""
+        cached = self._cached_answer("cover", area, roles)
+        if cached is not None:
+            return cached
         if flags.indexed_catalog:
-            return self._index.covering(area, roles)
-        return self._scan_covering(area, roles)
+            result = self._index.covering(area, roles)
+        else:
+            result = self._scan_covering(area, roles)
+        self._store_answer("cover", area, roles, result)
+        return result
 
     def servers_with_roles(self, roles: tuple[ServerRole, ...]) -> list[ServerEntry]:
         """Every known server holding one of ``roles``, in address order."""
@@ -208,6 +241,40 @@ class Catalog:
         if flags.indexed_catalog:
             return self._statement_index.applicable(level, area)
         return [statement for statement in self.statements if statement.applies_to(level, area)]
+
+    # -- answer-cache plumbing ---------------------------------------------------- #
+    #
+    # Active only with an attached cache *and* flags.catalog_tier on: the
+    # key captures the lookup's full identity (kind, roles, area text), and
+    # every mutation path above invalidates by area overlap, so a cached
+    # answer is always exactly what recomputing would return.
+
+    def _cached_answer(
+        self,
+        kind: str,
+        area: InterestArea,
+        roles: tuple[ServerRole, ...] | None,
+    ) -> list[ServerEntry] | None:
+        if self.answer_cache is None or not flags.catalog_tier:
+            return None
+        cached = self.answer_cache.get((kind, roles, str(area)))
+        return list(cached) if cached is not None else None
+
+    def _store_answer(
+        self,
+        kind: str,
+        area: InterestArea,
+        roles: tuple[ServerRole, ...] | None,
+        result: list[ServerEntry],
+    ) -> None:
+        if self.answer_cache is not None and flags.catalog_tier:
+            self.answer_cache.put((kind, roles, str(area)), area, tuple(result))
+
+    def _invalidate_answers(self, area: InterestArea) -> None:
+        # Unconditional on the flag: a mutation landing while the tier is
+        # toggled off must still evict answers cached while it was on.
+        if self.answer_cache is not None:
+            self.answer_cache.invalidate_overlapping(area)
 
     # -- linear-scan oracles ------------------------------------------------------ #
     #

@@ -1,0 +1,26 @@
+"""The sharded, replicated catalog tier (gated by ``flags.catalog_tier``).
+
+Partitions catalog ownership across replica groups via consistent hashing
+over interest-area cells, fans registrations out to whole groups, orders
+lookups primary-first with deterministic failover, memoizes hot-area
+answers in an LRU cache with statement-driven invalidation, and reconciles
+authoritative sets when a crashed replica rejoins its group.
+
+See ``docs/catalog.md`` for the walkthrough.
+"""
+
+from .answercache import AnswerCache
+from .reads import first_answer, quorum_answer
+from .reconcile import ReconcileResult, reconcile_authoritative
+from .shardmap import ReplicaGroup, ShardMap, shard_of_cell
+
+__all__ = [
+    "AnswerCache",
+    "ReplicaGroup",
+    "ShardMap",
+    "shard_of_cell",
+    "first_answer",
+    "quorum_answer",
+    "ReconcileResult",
+    "reconcile_authoritative",
+]

@@ -1,0 +1,84 @@
+"""Read fan-out policies over a replica group (first-answer and quorum).
+
+The wire path routes a mutant plan to one replica at a time (failover
+order comes from :meth:`ShardMap.owners`), but hot-area reads that stay
+on one peer — registration-time indexer selection, harness-side ground
+truth, the stats API — can consult several replica catalogs at once.
+Two policies:
+
+* **first-answer** — walk the group in failover order and return the
+  first non-empty answer.  Minimum latency, single-replica currency.
+* **quorum** — ask every live replica and keep the entries a majority
+  agrees on.  One stale or conflicted replica cannot inject a server
+  the rest of the group has already pruned.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..catalog import Catalog, ServerEntry, ServerRole, canonical_address
+from ..namespace import InterestArea
+
+__all__ = ["first_answer", "quorum_answer"]
+
+
+def _lookup(
+    catalog: Catalog,
+    area: InterestArea,
+    roles: Iterable[ServerRole] | None,
+    require_cover: bool,
+) -> list[ServerEntry]:
+    if require_cover:
+        return catalog.servers_covering(area, roles=roles)
+    return catalog.servers_overlapping(area, roles=roles)
+
+
+def first_answer(
+    replicas: Sequence[tuple[str, Catalog]],
+    area: InterestArea,
+    *,
+    roles: Iterable[ServerRole] | None = None,
+    require_cover: bool = False,
+) -> tuple[str | None, list[ServerEntry]]:
+    """The first replica's non-empty answer, in failover order.
+
+    Returns ``(answering_address, entries)``; ``(None, [])`` when every
+    replica comes up empty.
+    """
+    for address, catalog in replicas:
+        entries = _lookup(catalog, area, roles, require_cover)
+        if entries:
+            return address, entries
+    return None, []
+
+
+def quorum_answer(
+    replicas: Sequence[tuple[str, Catalog]],
+    area: InterestArea,
+    *,
+    roles: Iterable[ServerRole] | None = None,
+    require_cover: bool = False,
+) -> list[ServerEntry]:
+    """Entries a majority of the queried replicas agree on.
+
+    Entries are identified by canonical server address; each surviving
+    address is represented by the first replica's entry for it, and the
+    result keeps the deterministic catalog order (address-sorted, the
+    order the underlying lookups already produce).
+    """
+    if not replicas:
+        return []
+    needed = len(replicas) // 2 + 1
+    votes: dict[str, int] = {}
+    witness: dict[str, ServerEntry] = {}
+    for _, catalog in replicas:
+        for entry in _lookup(catalog, area, roles, require_cover):
+            key = canonical_address(entry.address)
+            votes[key] = votes.get(key, 0) + 1
+            witness.setdefault(key, entry)
+    return [
+        witness[key]
+        for key in sorted(witness)
+        if votes[key] >= needed
+    ]

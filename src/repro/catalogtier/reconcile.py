@@ -1,0 +1,104 @@
+"""Authoritative-set reconciliation for rejoining replicas.
+
+A replica that crashed and rejoined holds a stale authoritative view; the
+group's survivors kept registering and pruning while it was gone.  Rejoin
+therefore runs a reconciliation pass: the rejoiner asks a surviving group
+member for its authoritative entries and merges them, and any *conflicting
+authority* — the BGP-MOAS analogue from the continuous-query layer — is
+surfaced as an explicit conflict record instead of being silently merged
+into double-answering.
+
+Two situations count as conflicts (same shape as the ``sub-conflict``
+records :class:`repro.api.subscription.AuthorityConflict` is built from):
+
+* **divergent claim** — the same server address is authoritative locally
+  and remotely with areas neither of which covers the other: the two
+  catalogs genuinely disagree about what that server owns.
+* **overlapping origin** — two *different* servers are both authoritative
+  for overlapping areas and are not members of the same replica group
+  (same-group overlap is replication working as designed, not MOAS).
+
+The merge itself never loses knowledge (:meth:`Catalog.register_server`
+unions areas), so after reconciliation the rejoiner answers from the
+group's superset view while the conflict records tell the operator which
+authority claims need adjudication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..catalog import Catalog, ServerEntry, canonical_address
+
+__all__ = ["ReconcileResult", "reconcile_authoritative"]
+
+
+@dataclass
+class ReconcileResult:
+    """What one reconciliation pass against one surviving replica did."""
+
+    adopted: int = 0
+    conflicts: list[dict] = field(default_factory=list)
+
+
+def _conflict(rejoiner: str, publisher: str, authorities: Sequence[str], now: float) -> dict:
+    return {
+        "sub": f"recon:{rejoiner}",
+        "publisher": publisher,
+        "authorities": sorted(set(authorities)),
+        "at_ms": round(now, 3),
+    }
+
+
+def reconcile_authoritative(
+    local: Catalog,
+    remote_entries: Sequence[ServerEntry],
+    *,
+    rejoiner: str,
+    source: str,
+    same_group: Callable[[str, str], bool],
+    now: float,
+) -> ReconcileResult:
+    """Merge a survivor's authoritative entries into ``local``.
+
+    ``same_group`` answers whether two addresses are siblings in one
+    replica group (their overlapping authority is by design).  Conflicts
+    are detected *before* merging, because the merge unions the divergent
+    claims away.
+    """
+    result = ReconcileResult()
+    for entry in remote_entries:
+        address = canonical_address(entry.address)
+        existing = local.servers.get(entry.address)
+
+        if (
+            existing is not None
+            and existing.authoritative
+            and entry.authoritative
+            and not existing.area.covers(entry.area)
+            and not entry.area.covers(existing.area)
+        ):
+            result.conflicts.append(
+                _conflict(rejoiner, entry.address, [rejoiner, source], now)
+            )
+
+        if entry.authoritative:
+            for other in local.servers.values():
+                if canonical_address(other.address) == address:
+                    continue
+                if not other.authoritative:
+                    continue
+                if same_group(other.address, entry.address):
+                    continue
+                if other.area.overlaps(entry.area):
+                    result.conflicts.append(
+                        _conflict(
+                            rejoiner, entry.address, [other.address, entry.address], now
+                        )
+                    )
+
+        if existing is None or not existing.area.covers(entry.area):
+            local.register_server(entry)
+            result.adopted += 1
+    return result

@@ -1,0 +1,158 @@
+"""Consistent-hash partitioning of catalog ownership (the sharded tier).
+
+At "millions of users" scale the index servers are both the routing
+bottleneck and the single point of failure.  The tier splits catalog
+ownership by interest-area cell: every :class:`InterestCell` hashes to a
+shard, every shard is owned by a :class:`ReplicaGroup` of N index servers,
+and registrations/lookups for an area route to the owning group(s).
+
+Hashing uses BLAKE2b over the cell's canonical text.  Python's builtin
+``hash()`` is salted per process and would break the repo's determinism
+contract (byte-identical reports across runs and transports); the digest
+is stable across processes, platforms, and Python versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..errors import CatalogError
+from ..namespace import InterestArea, InterestCell
+
+__all__ = ["ReplicaGroup", "ShardMap", "shard_of_cell"]
+
+
+def shard_of_cell(cell: InterestCell, shards: int) -> int:
+    """Map a cell to a shard id via a stable hash of its canonical text.
+
+    ``str(cell)`` is the cell's interned textual form (the same key the
+    routing cache and batch contexts use), so equal cells always land on
+    the same shard regardless of which peer computes the mapping.
+    """
+    if shards < 1:
+        raise CatalogError("shard count must be positive")
+    digest = hashlib.blake2b(str(cell).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % shards
+
+
+@dataclass(frozen=True)
+class ReplicaGroup:
+    """The ordered set of index servers that co-own one shard.
+
+    Member order is the failover order: reads prefer the primary (a
+    deterministic rotation of the member list so distinct shards spread
+    load across the same physical servers), then fall through to the
+    surviving members when the preferred replica is suspected dead.
+    """
+
+    shard_id: int
+    members: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise CatalogError(f"replica group {self.shard_id} needs at least one member")
+
+    def preferred_order(self) -> tuple[str, ...]:
+        """Members rotated by shard id — the deterministic read preference."""
+        pivot = self.shard_id % len(self.members)
+        return self.members[pivot:] + self.members[:pivot]
+
+    def alive_members(self, suspected: frozenset[str] | set[str] = frozenset()) -> list[str]:
+        """The preferred order with suspected-dead members filtered out."""
+        return [member for member in self.preferred_order() if member not in suspected]
+
+    def siblings_of(self, address: str) -> list[str]:
+        """The other members of this group, in member order."""
+        return [member for member in self.members if member != address]
+
+
+class ShardMap:
+    """The cluster-wide assignment of interest-area cells to replica groups.
+
+    Built once by the harness (or an operator) and shared by reference
+    across peers — the map is immutable after construction, so there is no
+    coordination problem in handing every peer the same object.
+    """
+
+    def __init__(self, groups: dict[int, ReplicaGroup]) -> None:
+        if not groups:
+            raise CatalogError("a shard map needs at least one replica group")
+        expected = set(range(len(groups)))
+        if set(groups) != expected:
+            raise CatalogError(
+                f"shard ids must be contiguous from 0, got {sorted(groups)}"
+            )
+        self._groups: dict[int, ReplicaGroup] = dict(groups)
+
+    @classmethod
+    def build(cls, members_by_shard: list[list[str]]) -> "ShardMap":
+        """Build a map from an ordered list of member-address lists."""
+        groups = {
+            shard_id: ReplicaGroup(shard_id, tuple(members))
+            for shard_id, members in enumerate(members_by_shard)
+        }
+        return cls(groups)
+
+    # -- structure ------------------------------------------------------- #
+
+    @property
+    def shards(self) -> int:
+        """Number of shards in the map."""
+        return len(self._groups)
+
+    @property
+    def groups(self) -> tuple[ReplicaGroup, ...]:
+        """All replica groups, in shard order."""
+        return tuple(self._groups[shard_id] for shard_id in sorted(self._groups))
+
+    def group(self, shard_id: int) -> ReplicaGroup:
+        """The replica group owning ``shard_id``."""
+        try:
+            return self._groups[shard_id]
+        except KeyError:
+            raise CatalogError(f"unknown shard {shard_id}") from None
+
+    def group_of(self, address: str) -> ReplicaGroup | None:
+        """The group ``address`` belongs to, or ``None`` if it is no replica."""
+        for group in self._groups.values():
+            if address in group.members:
+                return group
+        return None
+
+    # -- routing --------------------------------------------------------- #
+
+    def shard_for_cell(self, cell: InterestCell) -> int:
+        """The shard owning ``cell``."""
+        return shard_of_cell(cell, self.shards)
+
+    def shards_for_area(self, area: InterestArea) -> list[int]:
+        """Every shard owning some cell of ``area``, in ascending order.
+
+        An area spanning several cells may hash across shards; such an
+        area's registrations and lookups fan out to every owning group.
+        """
+        return sorted({self.shard_for_cell(cell) for cell in area})
+
+    def owners(
+        self, area: InterestArea, suspected: frozenset[str] | set[str] = frozenset()
+    ) -> list[str]:
+        """Replica addresses responsible for ``area``, failover-ordered.
+
+        For each owning shard (ascending) the group's preferred order is
+        appended, skipping suspected-dead members and duplicates — the
+        result is the exact candidate ordering shard-aware routing wants:
+        primary first, surviving siblings next, other shards' groups after.
+        """
+        ordered: list[str] = []
+        seen: set[str] = set()
+        for shard_id in self.shards_for_area(area):
+            for member in self._groups[shard_id].alive_members(suspected):
+                if member not in seen:
+                    seen.add(member)
+                    ordered.append(member)
+        return ordered
+
+    def __repr__(self) -> str:
+        sizes = [len(group.members) for group in self.groups]
+        return f"ShardMap(shards={self.shards}, replicas={sizes})"

@@ -55,8 +55,26 @@ def _recovery_curve_scenarios() -> tuple:
     )
 
 
+def _replica_outage_scenarios() -> tuple:
+    """Completeness vs. crashed-replica grid over the sharded catalog tier.
+
+    Three cells crash 0, 1, and 2 of the 3 replicas of shard group 0
+    mid-query (the ``sharded-catalog`` preset otherwise unchanged: 4
+    shards, 10% link loss, retries on).  The 0-outage cell is the natural
+    baseline — the z-tests measure what replica failures cost.
+    """
+    from ..harness.cli import SCENARIOS  # late import: harness.cli dispatches to us
+
+    base = SCENARIOS["sharded-catalog"]
+    return tuple(
+        replace(base, name=f"outage-{down}", catalog_outages=down)
+        for down in range(3)
+    )
+
+
 EXPERIMENT_PRESETS = {
     "recovery-curve": _recovery_curve_scenarios,
+    "replica-outage": _replica_outage_scenarios,
 }
 """Named experiment grids (``repro experiment --preset <name>``): each maps
 to a scenario tuple builder, so presets can derive cells from the single-run
@@ -74,8 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(see `repro --list`; default: smoke,free-riders)")
     parser.add_argument("--preset", choices=sorted(EXPERIMENT_PRESETS), default=None,
                         help="named experiment grid (overrides --scenarios); "
-                             "e.g. recovery-curve sweeps completeness vs. link "
-                             "loss 0-30%% with reliable delivery on")
+                             "recovery-curve sweeps completeness vs. link loss "
+                             "0-30%% with reliable delivery on; replica-outage "
+                             "crashes 0-2 of 3 catalog replicas mid-query")
     parser.add_argument("--seeds", default="11,17,23",
                         help="comma-separated base seeds (default: 11,17,23)")
     parser.add_argument("--repeats", type=int, default=3,

@@ -120,6 +120,16 @@ SCENARIOS: dict[str, ScaleoutSpec] = {
         workload="garage-sale", churn="light", queries=8,
         subscribers=40, mutation_rounds=4, reliable=True,
     ),
+    # --- catalog tier (flags.catalog_tier + repro.catalogtier) --------------- #
+    # Sharded, replicated catalog under fire: 4 shards x 3 replicas, light
+    # churn, 10% link loss with reliable delivery, and one replica of
+    # group 0 crashing mid-query then rejoining (reconciliation).
+    "sharded-catalog": ScaleoutSpec(
+        name="sharded-catalog", topology="small-world", peers=120,
+        workload="garage-sale", churn="light", queries=12,
+        catalog_shards=4, catalog_replicas=3, catalog_outages=1,
+        fault_loss=0.10, reliable=True,
+    ),
 }
 
 
@@ -180,6 +190,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--mutation-rounds", type=int, default=None, metavar="N",
                         help="publisher mutation rounds driving the delta feeds "
                              "(default: 0; requires --subscribers)")
+    parser.add_argument("--catalog-shards", type=int, default=None, metavar="N",
+                        help="shard the catalog tier into N replica groups "
+                             "(default: 0, tier off; requires --catalog-replicas)")
+    parser.add_argument("--catalog-replicas", type=int, default=None, metavar="N",
+                        help="index servers per shard's replica group "
+                             "(default: 0; set together with --catalog-shards)")
+    parser.add_argument("--catalog-outages", type=int, default=None, metavar="N",
+                        help="replicas of group 0 to crash mid-query and rejoin "
+                             "(default: 0; must leave a survivor)")
     parser.add_argument("--output", default=None,
                         help="JSON report path (default: reports/<name>.json)")
     parser.add_argument("--list", action="store_true", dest="list_options",
@@ -211,6 +230,9 @@ def _spec_from_args(args: argparse.Namespace) -> ScaleoutSpec:
             ),
             "subscribers": args.subscribers,
             "mutation_rounds": args.mutation_rounds,
+            "catalog_shards": args.catalog_shards,
+            "catalog_replicas": args.catalog_replicas,
+            "catalog_outages": args.catalog_outages,
         }.items()
         if value is not None
     }
@@ -285,6 +307,11 @@ def main(argv: list[str] | None = None) -> int:
         print(format_summary(counters, title="resilience"))
     if "subscriptions" in report:
         print(format_summary(report["subscriptions"], title="subscriptions"))
+    if "catalog_tier" in report:
+        tier = dict(report["catalog_tier"])
+        cache = tier.pop("answer_cache", {})
+        print(format_summary(tier, title="catalog tier"))
+        print(format_summary(cache, title="answer cache"))
     print(f"report written to {path} ({elapsed:.1f}s wall clock)")
     return 0
 

@@ -26,6 +26,7 @@ from typing import Callable
 
 from ..algebra import PlanBuilder, QueryPlan
 from ..api import Cluster
+from ..catalogtier import ShardMap, shard_of_cell
 from ..errors import SimulationError
 from ..namespace import (
     CategoryPath,
@@ -131,6 +132,16 @@ class ScaleoutSpec:
     # stay byte-identical to pre-subscription builds.
     subscribers: int = 0
     mutation_rounds: int = 0
+    # Catalog-tier knobs (flags.catalog_tier + repro.catalogtier).  With
+    # ``catalog_shards > 0`` the authoritative index layer becomes
+    # ``catalog_shards`` replica groups of ``catalog_replicas`` servers
+    # each, and ``catalog_outages`` replicas of group 0 crash mid-schedule
+    # and rejoin (reconciling on the way back).  The zero defaults are
+    # elided from the report — flag-off runs stay byte-identical to
+    # pre-tier builds.
+    catalog_shards: int = 0
+    catalog_replicas: int = 0
+    catalog_outages: int = 0
 
     def fault_plan(self) -> FaultPlan:
         """The seeded link-fault plan this spec describes.
@@ -191,6 +202,23 @@ class ScaleoutSpec:
             )
         if self.mutation_rounds > 0 and self.subscribers == 0:
             raise SimulationError("mutation_rounds without subscribers drives no feed")
+        if min(self.catalog_shards, self.catalog_replicas, self.catalog_outages) < 0:
+            raise SimulationError("catalog tier knobs must be non-negative")
+        if (self.catalog_shards > 0) != (self.catalog_replicas > 0):
+            raise SimulationError(
+                "catalog_shards and catalog_replicas are set together (or both zero)"
+            )
+        if self.catalog_shards > 0 and self.routing != "mqp":
+            raise SimulationError(
+                "the catalog tier shards the MQP stack's catalog; baselines have none"
+            )
+        if self.catalog_outages > 0:
+            if self.catalog_shards == 0:
+                raise SimulationError("catalog_outages requires the catalog tier")
+            if self.catalog_outages >= self.catalog_replicas:
+                raise SimulationError(
+                    "catalog_outages must leave at least one surviving replica per group"
+                )
 
 
 @dataclass
@@ -246,6 +274,9 @@ class ScaleoutScenario:
     subscriber_addresses: list[str] = field(default_factory=list)
     subscription_ids: list[str] = field(default_factory=list)
     hot_publishers: list[str] = field(default_factory=list)
+    # Catalog-tier state (populated when spec.catalog_shards > 0):
+    shard_map: ShardMap | None = None
+    replica_outages: list[str] = field(default_factory=list)
 
     @property
     def total_peers(self) -> int:
@@ -374,14 +405,23 @@ def _build_mqp_network(spec: ScaleoutSpec, scenario: ScaleoutScenario) -> None:
         session = cluster.base_server(data_peer.address, data_peer.area)
         session.publish("items", data_peer.items)
 
-    for position, area in enumerate(_index_areas(scenario.namespace, scenario.data_peers)):
-        scenario.index_servers.append(
-            cluster.index_server(f"index-{position:02d}:9020", area).peer
-        )
+    if spec.catalog_shards > 0:
+        scenario.shard_map = _build_catalog_tier(spec, scenario)
+    else:
+        for position, area in enumerate(_index_areas(scenario.namespace, scenario.data_peers)):
+            scenario.index_servers.append(
+                cluster.index_server(f"index-{position:02d}:9020", area).peer
+            )
 
     scenario.meta_index = cluster.meta_index("meta-index:9020").peer
     client = cluster.client("client:9020")
     scenario.client = client.peer
+
+    # Every peer shares the one shard map by reference *before* connect():
+    # the registration policy consults it to fan registrations out to whole
+    # replica groups, and replica peers attach their answer caches on join.
+    if scenario.shard_map is not None:
+        cluster.join_catalog_tier(scenario.shard_map)
 
     # Catalog registration (covering-indexer policy) + client bootstrap.
     scenario.registrations = cluster.connect()
@@ -397,6 +437,46 @@ def _build_mqp_network(spec: ScaleoutSpec, scenario: ScaleoutScenario) -> None:
         max_hops=spec.max_hops,
         batch_window_ms=spec.batch_window_ms if spec.batch else None,
     )
+
+
+def _build_catalog_tier(spec: ScaleoutSpec, scenario: ScaleoutScenario) -> ShardMap:
+    """Stand up the sharded index layer: one replica group per shard.
+
+    Each populated second-level index area (see :func:`_index_areas`)
+    hashes to a shard by its single cell; a shard's replicas are
+    authoritative over the union of its areas.  A shard no area hashed to
+    still gets its replica servers — covering the namespace top
+    non-authoritatively, so they participate in routing without claiming
+    authority they cannot back (and without MOAS-style overlap conflicts).
+    """
+    cluster = scenario.cluster
+    areas_by_shard: dict[int, list[InterestArea]] = {
+        shard: [] for shard in range(spec.catalog_shards)
+    }
+    for area in _index_areas(scenario.namespace, scenario.data_peers):
+        cell = next(iter(area))  # index areas are single-cell by construction
+        areas_by_shard[shard_of_cell(cell, spec.catalog_shards)].append(area)
+
+    members_by_shard: list[list[str]] = []
+    for shard in range(spec.catalog_shards):
+        members = [
+            f"index-s{shard}r{replica}:9020" for replica in range(spec.catalog_replicas)
+        ]
+        owned = areas_by_shard[shard]
+        if owned:
+            shard_area = owned[0]
+            for extra in owned[1:]:
+                shard_area = shard_area.union(extra)
+            authoritative = True
+        else:
+            shard_area = scenario.namespace.top_area()
+            authoritative = False
+        for member in members:
+            scenario.index_servers.append(
+                cluster.index_server(member, shard_area, authoritative=authoritative).peer
+            )
+        members_by_shard.append(members)
+    return ShardMap.build(members_by_shard)
 
 
 def _build_overlay_network(spec: ScaleoutSpec, scenario: ScaleoutScenario) -> None:
@@ -666,6 +746,40 @@ def schedule_mutations(scenario: ScaleoutScenario) -> int:
     return scheduled
 
 
+def _schedule_replica_outage(scenario: ScaleoutScenario) -> None:
+    """Crash ``catalog_outages`` replicas of group 0 mid-schedule, then rejoin.
+
+    The victims are the group's *preferred* members — the ones shard-aware
+    routing tries first — so the crash forces real failovers, not reads
+    that would have skipped the dead replica anyway.  The crash lands a
+    third of the way through the query schedule (queries in flight), the
+    rejoin two thirds through (reconciliation races the tail queries).
+    """
+    spec = scenario.spec
+    if spec.catalog_outages == 0 or scenario.shard_map is None:
+        return
+    network = scenario.network
+    group = scenario.shard_map.group(0)
+    victims = list(group.preferred_order()[: spec.catalog_outages])
+    scenario.replica_outages = victims
+    span = len(scenario.queries) * spec.query_interval_ms
+    start = network.now
+    for victim in victims:
+
+        def crash(address=victim) -> None:
+            node = network.node(address)
+            if node.online:
+                node.go_offline()
+
+        def rejoin(address=victim) -> None:
+            node = network.node(address)
+            if not node.online:
+                node.go_online()
+
+        network.schedule_at(start + span / 3.0, crash)
+        network.schedule_at(start + 2.0 * span / 3.0, rejoin)
+
+
 def _issue_mqp_query(scenario: ScaleoutScenario, query: _Query, label: str) -> str:
     session = scenario.cluster.session(scenario.client.address)  # type: ignore[union-attr]
     plan = query.plan_for(session.address)
@@ -717,11 +831,13 @@ def run_scaleout(
     continuous = (
         overrides(continuous_queries=True) if spec.subscribers > 0 else nullcontext()
     )
-    with reliability, continuous:
+    tier = overrides(catalog_tier=True) if spec.catalog_shards > 0 else nullcontext()
+    with reliability, continuous, tier:
         scenario = build_scaleout_scenario(spec, transport=transport)
         with scenario.cluster as cluster:
             query_ids = schedule_queries(scenario)
             schedule_mutations(scenario)
+            _schedule_replica_outage(scenario)
             cluster.run_until_idle()
 
             for query_id in query_ids:
@@ -790,7 +906,20 @@ _SUBSCRIPTION_DEFAULTS = {
 """Continuous-query spec fields elided at their flag-off defaults — the
 same byte-identity convention as :data:`_ADVERSARY_DEFAULTS`."""
 
-_ELIDED_DEFAULTS = {**_ADVERSARY_DEFAULTS, **_RESILIENCE_DEFAULTS, **_SUBSCRIPTION_DEFAULTS}
+_CATALOG_TIER_DEFAULTS = {
+    "catalog_shards": 0,
+    "catalog_replicas": 0,
+    "catalog_outages": 0,
+}
+"""Catalog-tier spec fields elided at their flag-off defaults — the same
+byte-identity convention as :data:`_ADVERSARY_DEFAULTS`."""
+
+_ELIDED_DEFAULTS = {
+    **_ADVERSARY_DEFAULTS,
+    **_RESILIENCE_DEFAULTS,
+    **_SUBSCRIPTION_DEFAULTS,
+    **_CATALOG_TIER_DEFAULTS,
+}
 
 
 def _scenario_dict(spec: ScaleoutSpec) -> dict[str, object]:
@@ -893,6 +1022,36 @@ def _report(scenario: ScaleoutScenario, query_ids: list[str]) -> dict[str, objec
             "delta_gaps": sum(peer.delta_gaps for peer in query_peers),
             "authority_conflicts": sum(peer.authority_conflicts for peer in query_peers),
             "resubscribes": sum(peer.resubscribes for peer in query_peers),
+        }
+
+    if spec.catalog_shards > 0 and scenario.shard_map is not None:
+        query_peers = [node for node in network.nodes() if isinstance(node, QueryPeer)]
+        caches = [
+            peer.catalog.answer_cache
+            for peer in scenario.index_servers
+            if peer.catalog.answer_cache is not None
+        ]
+        cache_hits = sum(cache.hits for cache in caches)
+        cache_misses = sum(cache.misses for cache in caches)
+        cache_total = cache_hits + cache_misses
+        report["catalog_tier"] = {
+            "shards": spec.catalog_shards,
+            "replicas": spec.catalog_replicas,
+            "replica_servers": len(scenario.index_servers),
+            "outages": len(scenario.replica_outages),
+            "answer_cache": {
+                "hits": cache_hits,
+                "misses": cache_misses,
+                "hit_rate": round(cache_hits / cache_total, 4) if cache_total else 0.0,
+                "invalidations": sum(cache.invalidations for cache in caches),
+                "evictions": sum(cache.evictions for cache in caches),
+            },
+            "tier_failovers": sum(peer.tier_failovers for peer in query_peers),
+            "reconciliations": sum(peer.reconciliations for peer in query_peers),
+            "recon_entries_adopted": sum(
+                peer.recon_entries_adopted for peer in query_peers
+            ),
+            "recon_conflicts": sum(len(peer.recon_conflicts) for peer in query_peers),
         }
 
     if (

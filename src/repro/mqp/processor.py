@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Collection, Sequence
+from typing import TYPE_CHECKING, Collection, Sequence
 
 from ..algebra.operators import Display, LeafNode, PlanNode, Union, URLRef, VerbatimData
 from ..catalog import Binder, Catalog, RoutingCache, ServerRole, canonical_address
@@ -34,6 +34,9 @@ from ..xmlmodel import XMLElement
 from .plan import MutantQueryPlan
 from .policy import PolicyManager
 from .provenance import ProvenanceAction
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import (avoids a cycle)
+    from ..catalogtier import ShardMap
 
 __all__ = [
     "ProcessingAction",
@@ -159,6 +162,10 @@ class MQPProcessor:
         # peer but never contribute answers: local data stays invisible to
         # plans passing through, and no sub-plan is ever evaluated here.
         self.free_ride = False
+        # The cluster's shard map (flags.catalog_tier), set by
+        # QueryPeer.join_catalog_tier: plan routing then leads with the
+        # replica group owning the queried area.
+        self.shard_map: ShardMap | None = None
 
     # ------------------------------------------------------------------ #
     # Local data availability
@@ -417,6 +424,13 @@ class MQPProcessor:
             if cached is not None:
                 return cached
         candidates: list[str] = []
+        if flags.catalog_tier and self.shard_map is not None:
+            # The owning replica group leads the candidate list: the
+            # shard's primary first (deterministic rotation), surviving
+            # siblings next.  Failover costs nothing extra — the caller's
+            # ``avoid`` set filters suspected members in _order_candidates,
+            # leaving the next group member as the first viable hop.
+            candidates.extend(self.shard_map.owners(area))
         for entry in self.cache.lookup(area, require_cover=True):
             candidates.append(entry.server)
         for entry in self.catalog.authoritative_servers(area):

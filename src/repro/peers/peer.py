@@ -58,6 +58,13 @@ Message kinds understood:
     for a subscription by one authority that receives the same
     subscription from a *different* authority keeps the original arming
     (never double-delivers) and surfaces the overlap to the subscriber.
+``recon-request`` / ``recon-reply``
+    Replica reconciliation (``flags.catalog_tier``): a replica rejoining
+    its group asks the surviving members for the catalog entries covering
+    its shard; the reply is merged through
+    :func:`repro.catalogtier.reconcile_authoritative`, which adopts what
+    the rejoiner missed and surfaces conflicting authority as
+    ``AuthorityConflict``-shaped records instead of double-answering.
 """
 
 from __future__ import annotations
@@ -83,6 +90,7 @@ from ..catalog import (
     SubscriptionShape,
     subscribable_shape,
 )
+from ..catalogtier import AnswerCache, ShardMap, reconcile_authoritative
 from ..errors import PeerError, PeerOffline
 from ..mqp import (
     MQPProcessor,
@@ -353,6 +361,13 @@ class QueryPeer(NetworkNode):
         self.delta_gaps = 0
         self.authority_conflicts = 0
         self.resubscribes = 0
+        # -- sharded catalog tier (flags.catalog_tier) ------------------------ #
+        self.shard_map: ShardMap | None = None
+        self.replica_peers: list[str] = []
+        self.reconciliations = 0
+        self.recon_entries_adopted = 0
+        self.recon_conflicts: list[dict] = []
+        self.tier_failovers = 0
         # -- batched processing --------------------------------------------- #
         self.batch_window_ms: float | None = None
         self.batches_processed = 0
@@ -478,8 +493,15 @@ class QueryPeer(NetworkNode):
         self.catalog.register_named_resource(entry)
 
     def announce_statement(self, statement: IntensionalStatement) -> None:
-        """Adopt an intensional statement this peer will announce on registration."""
-        self.statements.append(statement)
+        """Adopt an intensional statement this peer will announce on registration.
+
+        Deduplicated by the statement's structural identity (its holdings
+        carry server and collection): registration replay through two
+        replicas of one group delivers the same announcement twice, and a
+        double-counted statement would double-bind its alternatives.
+        """
+        if statement not in self.statements:
+            self.statements.append(statement)
         self.catalog.register_statement(statement)
 
     def server_entry(self) -> ServerEntry:
@@ -523,6 +545,100 @@ class QueryPeer(NetworkNode):
         self.catalog.register_server(entry)
         if entry.role in (ServerRole.INDEX, ServerRole.META_INDEX):
             self.cache.remember(entry.area, entry.address, entry.role.value)
+
+    # ------------------------------------------------------------------ #
+    # Sharded catalog tier (flags.catalog_tier)
+    # ------------------------------------------------------------------ #
+
+    def join_catalog_tier(self, shard_map: ShardMap) -> None:
+        """Adopt the cluster's shard map (and this peer's replica group).
+
+        Every peer gets the map — it is what makes registrations and plan
+        routing shard-aware — while replicas (members of some group)
+        additionally learn their siblings for rejoin reconciliation and
+        attach the hot-area answer cache to their catalog.
+        """
+        self.shard_map = shard_map
+        self.processor.shard_map = shard_map
+        group = shard_map.group_of(self.address)
+        if group is not None:
+            self.replica_peers = group.siblings_of(self.address)
+            if self.catalog.answer_cache is None:
+                self.catalog.attach_answer_cache(AnswerCache())
+
+    def _same_replica_group(self, first: str, second: str) -> bool:
+        if self.shard_map is None:
+            return False
+        group = self.shard_map.group_of(first)
+        other = self.shard_map.group_of(second)
+        return group is not None and other is not None and group.shard_id == other.shard_id
+
+    def _note_tier_failover(self, dead: str) -> None:
+        """Count a detected replica death: routing falls to a group sibling."""
+        if (
+            flags.catalog_tier
+            and self.shard_map is not None
+            and self.shard_map.group_of(dead) is not None
+        ):
+            self.tier_failovers += 1
+
+    def _request_reconciliation(self) -> None:
+        """Ask surviving group members for the shard's authoritative view."""
+        for sibling in self.replica_peers:
+            if sibling in self.suspected_dead:
+                continue
+            self.send(
+                sibling,
+                "recon-request",
+                {"requester": self.address, "area": self.interest_area},
+                size_bytes=128,
+            )
+
+    def _handle_recon_request(self, message: Message) -> None:
+        if not flags.catalog_tier:
+            return  # a straggler from a run that had the flag on
+        area: InterestArea = message.payload["area"]
+        entries = self.catalog.servers_overlapping(area)
+        statements = [
+            statement
+            for statement in self.catalog.statements
+            if statement.lhs.area.overlaps(area)
+        ]
+        self.send(
+            message.sender,
+            "recon-reply",
+            {"source": self.address, "entries": entries, "statements": statements},
+            size_bytes=64 + 96 * len(entries),
+        )
+
+    def _handle_recon_reply(self, message: Message) -> None:
+        if not flags.catalog_tier:
+            return
+        payload: dict = message.payload
+        result = reconcile_authoritative(
+            self.catalog,
+            payload["entries"],
+            rejoiner=self.address,
+            source=str(payload["source"]),
+            same_group=self._same_replica_group,
+            now=self.now,
+        )
+        self.reconciliations += 1
+        self.recon_entries_adopted += result.adopted
+        for conflict in result.conflicts:
+            # The sub-conflict machinery, reused: one surfaced record per
+            # contested address, counted on the same authority_conflicts
+            # tally the subscription layer reports.
+            key = (str(conflict["sub"]), str(conflict["publisher"]))
+            if key in self._conflict_notified:
+                continue
+            self._conflict_notified.add(key)
+            self.authority_conflicts += 1
+            self.recon_conflicts.append(conflict)
+        for statement in payload.get("statements", ()):
+            # register_statement dedupes structurally, so replies from two
+            # survivors can never double-count a statement.
+            self.catalog.register_statement(statement)
 
     # ------------------------------------------------------------------ #
     # Churn: leaving, crashing, and rejoining
@@ -580,6 +696,10 @@ class QueryPeer(NetworkNode):
             if flags.continuous_queries:
                 for sub_id in list(self.my_subscriptions):
                     self.resubscribe(sub_id)
+            if flags.catalog_tier and self.replica_peers:
+                # The group kept registering and pruning while this replica
+                # was down: reconcile the authoritative set before serving.
+                self._request_reconciliation()
 
     # ------------------------------------------------------------------ #
     # Client behaviour: issuing queries and receiving results
@@ -1347,6 +1467,10 @@ class QueryPeer(NetworkNode):
             self._handle_delta_ack(message)
         elif message.kind == "sub-conflict":
             self._handle_sub_conflict(message)
+        elif message.kind == "recon-request":
+            self._handle_recon_request(message)
+        elif message.kind == "recon-reply":
+            self._handle_recon_reply(message)
         elif message.kind == "register":
             self._handle_register(message)
         elif message.kind == "register-ack":
@@ -1901,6 +2025,7 @@ class QueryPeer(NetworkNode):
         self.suspected_dead.add(state.recipient)
         self.cache.forget_server(state.recipient)
         self.catalog.prune_server(state.recipient)
+        self._note_tier_failover(state.recipient)
         if state.kind == "mqp":
             mqp = MutantQueryPlan.deserialize(state.payload)
             self._process_and_act(mqp, rerouted=True)
@@ -1988,6 +2113,7 @@ class QueryPeer(NetworkNode):
         self.suspected_dead.add(dead)
         self.cache.forget_server(dead)
         self.catalog.prune_server(dead)
+        self._note_tier_failover(dead)
         transfer = getattr(original, "transfer", None)
         if transfer is not None:
             # The bounce already tells us delivery failed: stand the retry

@@ -26,6 +26,7 @@ from typing import Iterable, Sequence
 
 from ..catalog import ServerRole
 from ..errors import RegistrationError
+from ..perf import flags
 from .peer import QueryPeer, RegistrationPayload
 
 __all__ = [
@@ -50,6 +51,9 @@ def covering_indexers(peer: QueryPeer, indexers: Sequence[QueryPeer]) -> list[Qu
 
     Preference order: authoritative servers covering the peer's whole area,
     most specific (smallest) first; otherwise any server whose area overlaps.
+    With the catalog tier on (and a shard map attached to ``peer``), each
+    chosen indexer expands to its whole replica group — registering with
+    every group member is what replicates the shard's catalog.
     """
     candidates = [indexer for indexer in indexers if indexer.address != peer.address]
     covering = [
@@ -59,12 +63,35 @@ def covering_indexers(peer: QueryPeer, indexers: Sequence[QueryPeer]) -> list[Qu
     ]
     if covering:
         covering.sort(key=lambda indexer: (-indexer.interest_area.specificity(), indexer.address))
-        return [covering[0]]
+        return _expand_replica_groups(peer, [covering[0]], candidates)
     overlapping = [
         indexer for indexer in candidates if indexer.interest_area.overlaps(peer.interest_area)
     ]
     overlapping.sort(key=lambda indexer: (-indexer.interest_area.specificity(), indexer.address))
-    return overlapping
+    return _expand_replica_groups(peer, overlapping, candidates)
+
+
+def _expand_replica_groups(
+    peer: QueryPeer, chosen: list[QueryPeer], candidates: Sequence[QueryPeer]
+) -> list[QueryPeer]:
+    """Widen each chosen indexer to its full replica group (catalog tier)."""
+    shard_map = peer.shard_map
+    if not flags.catalog_tier or shard_map is None:
+        return chosen
+    by_address = {candidate.address: candidate for candidate in candidates}
+    expanded: list[QueryPeer] = []
+    seen: set[str] = set()
+    for indexer in chosen:
+        group = shard_map.group_of(indexer.address)
+        members = group.members if group is not None else (indexer.address,)
+        for address in members:
+            target = by_address.get(address)
+            if target is None and address == indexer.address:
+                target = indexer
+            if target is not None and target.address not in seen:
+                seen.add(target.address)
+                expanded.append(target)
+    return expanded
 
 
 def registration_plan(peers: Sequence[QueryPeer]) -> list[tuple[str, str]]:

@@ -65,6 +65,14 @@ class _Flags:
       the seed's answer-once-and-die queries.  Off by default: the
       byte-identity gates compare scenario reports against the
       snapshot-only wire behaviour.
+    * ``catalog_tier`` — the sharded, replicated catalog tier: interest
+      areas hash to replica groups of index servers, registrations fan out
+      to every group member, lookups prefer the owning group with failover
+      ordering, index servers keep an LRU answer cache invalidated by
+      covering registrations, and rejoining replicas reconcile their
+      authoritative sets with surviving group members vs. the seed's flat
+      single-catalog routing.  Off by default: the byte-identity gates
+      compare scenario reports against the unsharded wire behaviour.
     """
 
     __slots__ = (
@@ -78,6 +86,7 @@ class _Flags:
         "eager_area_plans",
         "reliable_delivery",
         "continuous_queries",
+        "catalog_tier",
     )
 
     def __init__(self) -> None:
@@ -91,6 +100,7 @@ class _Flags:
         self.eager_area_plans = False
         self.reliable_delivery = False
         self.continuous_queries = False
+        self.catalog_tier = False
 
 
 flags = _Flags()

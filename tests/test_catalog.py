@@ -169,3 +169,44 @@ class TestRoutingCache:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             RoutingCache(capacity=0)
+
+    def test_forget_server_canonicalizes_addresses(self, namespace):
+        # Regression: an entry cached under a non-canonical address used to
+        # survive forget_server (and keep routing at a pruned server).
+        cache = RoutingCache()
+        cache.remember(namespace.area(["USA/OR", "*"]), "http://index-or:9020/")
+        cache.forget_server("index-or:9020")
+        assert len(cache) == 0
+        cache.remember(namespace.area(["USA/OR", "*"]), "index-or:9020")
+        cache.forget_server("https://index-or:9020")
+        assert len(cache) == 0
+
+    def test_eviction_order_respects_lookup_recency(self, namespace):
+        cache = RoutingCache(capacity=2)
+        cache.remember(namespace.area(["USA/OR", "*"]), "a:1")
+        cache.remember(namespace.area(["USA/WA", "*"]), "b:1")
+        # A hit refreshes a:1, so the next insert evicts b:1 instead.
+        assert cache.lookup(namespace.area(["USA/OR/Portland", "*"]))
+        cache.remember(namespace.area(["USA/CA", "*"]), "c:1")
+        assert cache.lookup(namespace.area(["USA/WA/Seattle", "*"])) == []
+        hits = cache.lookup(namespace.area(["USA/OR/Portland", "*"]))
+        assert [hit.server for hit in hits] == ["a:1"]
+
+    def test_specificity_tie_break_is_address_order(self, namespace):
+        cache = RoutingCache()
+        area = namespace.area(["USA/OR", "*"])
+        cache.remember(area, "b:1")
+        cache.remember(area, "a:1")
+        hits = cache.lookup(namespace.area(["USA/OR/Portland", "*"]))
+        assert [hit.server for hit in hits] == ["a:1", "b:1"]
+
+    def test_forget_frees_capacity_before_eviction(self, namespace):
+        cache = RoutingCache(capacity=2)
+        cache.remember(namespace.area(["USA/OR", "*"]), "a:1")
+        cache.remember(namespace.area(["USA/WA", "*"]), "b:1")
+        cache.forget_server("a:1")
+        cache.remember(namespace.area(["USA/CA", "*"]), "c:1")
+        # forget freed the slot, so the oldest survivor was not evicted.
+        hits = cache.lookup(namespace.area(["USA/WA/Seattle", "*"]))
+        assert [hit.server for hit in hits] == ["b:1"]
+        assert cache.lookup(namespace.area(["USA/OR/Portland", "*"])) == []

@@ -1,0 +1,327 @@
+"""Tests for the sharded, replicated catalog tier (repro.catalogtier)."""
+
+import pytest
+
+from repro.catalog import Catalog, ServerEntry, ServerRole
+from repro.catalogtier import (
+    AnswerCache,
+    ReplicaGroup,
+    ShardMap,
+    first_answer,
+    quorum_answer,
+    reconcile_authoritative,
+    shard_of_cell,
+)
+from repro.errors import CatalogError
+from repro.harness.scaleout import (
+    ScaleoutSpec,
+    _schedule_replica_outage,
+    _scenario_dict,
+    build_scaleout_scenario,
+    schedule_queries,
+)
+from repro.peers import BaseServer, IndexServer
+from repro.peers.registration import covering_indexers
+from repro.perf import overrides
+
+
+@pytest.fixture()
+def shard_map():
+    return ShardMap.build([["i0:1", "i1:1", "i2:1"], ["j0:1", "j1:1", "j2:1"]])
+
+
+class TestShardMap:
+    def test_shard_of_cell_is_stable(self, namespace):
+        cell = next(iter(namespace.area(["USA/OR", "*"])))
+        first = shard_of_cell(cell, 4)
+        assert all(shard_of_cell(cell, 4) == first for _ in range(5))
+        assert 0 <= first < 4
+        with pytest.raises(CatalogError):
+            shard_of_cell(cell, 0)
+
+    def test_contiguous_shard_ids_required(self):
+        with pytest.raises(CatalogError):
+            ShardMap({1: ReplicaGroup(1, ("a:1",))})
+        with pytest.raises(CatalogError):
+            ShardMap({})
+        with pytest.raises(CatalogError):
+            ReplicaGroup(0, ())
+
+    def test_preferred_order_rotates_by_shard(self, shard_map):
+        assert shard_map.group(0).preferred_order() == ("i0:1", "i1:1", "i2:1")
+        assert shard_map.group(1).preferred_order() == ("j1:1", "j2:1", "j0:1")
+
+    def test_group_of_and_siblings(self, shard_map):
+        assert shard_map.group_of("j2:1").shard_id == 1
+        assert shard_map.group_of("stranger:1") is None
+        assert shard_map.group(0).siblings_of("i1:1") == ["i0:1", "i2:1"]
+
+    def test_owners_are_failover_ordered(self, shard_map, namespace):
+        area = namespace.area(["USA/OR", "*"])
+        shard = shard_map.shards_for_area(area)[0]
+        owners = shard_map.owners(area)
+        assert owners == list(shard_map.group(shard).preferred_order())
+        primary = owners[0]
+        assert shard_map.owners(area, suspected={primary}) == owners[1:]
+
+    def test_multi_cell_area_fans_to_every_owning_shard(self, shard_map, namespace):
+        area = namespace.top_area().union(namespace.area(["USA/OR", "*"]))
+        shards = shard_map.shards_for_area(area)
+        owners = shard_map.owners(area)
+        for shard in shards:
+            assert set(shard_map.group(shard).members) <= set(owners)
+
+
+class TestAnswerCache:
+    def test_lru_hit_miss_and_eviction(self, namespace):
+        cache = AnswerCache(capacity=2)
+        oregon = namespace.area(["USA/OR", "*"])
+        wash = namespace.area(["USA/WA", "*"])
+        calif = namespace.area(["USA/CA", "*"])
+        cache.put(("overlap", None, str(oregon)), oregon, ("a",))
+        cache.put(("overlap", None, str(wash)), wash, ("b",))
+        assert cache.get(("overlap", None, str(oregon))) == ("a",)  # refresh
+        cache.put(("overlap", None, str(calif)), calif, ("c",))  # evicts wash
+        assert cache.get(("overlap", None, str(wash))) is None
+        assert cache.get(("overlap", None, str(oregon))) == ("a",)
+        assert cache.evictions == 1
+        assert cache.hits == 2 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_invalidate_by_overlap(self, namespace):
+        cache = AnswerCache()
+        oregon = namespace.area(["USA/OR", "*"])
+        wash = namespace.area(["USA/WA", "*"])
+        cache.put(("overlap", None, str(oregon)), oregon, ("a",))
+        cache.put(("overlap", None, str(wash)), wash, ("b",))
+        dropped = cache.invalidate_overlapping(namespace.area(["USA/OR/Portland", "*"]))
+        assert dropped == 1
+        assert cache.get(("overlap", None, str(oregon))) is None
+        assert cache.get(("overlap", None, str(wash))) == ("b",)
+        assert cache.flush() == 1 and len(cache) == 0
+
+    def test_stats_and_validation(self):
+        with pytest.raises(ValueError):
+            AnswerCache(capacity=0)
+        stats = AnswerCache().stats()
+        assert stats == {
+            "size": 0, "hits": 0, "misses": 0, "hit_rate": 0.0,
+            "invalidations": 0, "evictions": 0,
+        }
+
+
+class TestCatalogAnswerCache:
+    def test_lookups_memoized_and_invalidated(self, namespace):
+        catalog = Catalog("idx:1")
+        cache = AnswerCache(capacity=8)
+        catalog.attach_answer_cache(cache)
+        oregon = namespace.area(["USA/OR", "*"])
+        with overrides(catalog_tier=True):
+            catalog.register_server(
+                ServerEntry("s1:1", ServerRole.BASE, namespace.area(["USA/OR/Portland", "Music/CDs"]))
+            )
+            first = catalog.servers_overlapping(oregon)
+            again = catalog.servers_overlapping(oregon)
+            assert [e.address for e in again] == [e.address for e in first]
+            assert cache.hits == 1
+            # A mutation whose area overlaps the cached answer drops it.
+            catalog.register_server(
+                ServerEntry("s2:1", ServerRole.BASE, namespace.area(["USA/OR/Salem", "Music"]))
+            )
+            refreshed = catalog.servers_overlapping(oregon)
+            assert {e.address for e in refreshed} == {"s1:1", "s2:1"}
+            assert cache.misses == 2
+
+    def test_flag_off_bypasses_the_cache(self, namespace):
+        catalog = Catalog("idx:1")
+        cache = AnswerCache()
+        catalog.attach_answer_cache(cache)
+        catalog.register_server(
+            ServerEntry("s1:1", ServerRole.BASE, namespace.area(["USA/OR/Portland", "*"]))
+        )
+        catalog.servers_overlapping(namespace.area(["USA/OR", "*"]))
+        catalog.servers_covering(namespace.area(["USA/OR/Portland", "*"]))
+        assert cache.hits == 0 and cache.misses == 0 and len(cache) == 0
+
+
+class TestReadPolicies:
+    def _catalog(self, name, namespace, addresses):
+        catalog = Catalog(name)
+        for address in addresses:
+            catalog.register_server(
+                ServerEntry(address, ServerRole.BASE, namespace.area(["USA/OR/Portland", "*"]))
+            )
+        return catalog
+
+    def test_first_answer_walks_failover_order(self, namespace):
+        area = namespace.area(["USA/OR", "*"])
+        empty = Catalog("r0:1")
+        full = self._catalog("r1:1", namespace, ["s1:1"])
+        who, entries = first_answer([("r0:1", empty), ("r1:1", full)], area)
+        assert who == "r1:1" and [e.address for e in entries] == ["s1:1"]
+        assert first_answer([("r0:1", empty)], area) == (None, [])
+
+    def test_quorum_drops_minority_entries(self, namespace):
+        area = namespace.area(["USA/OR", "*"])
+        agreed = self._catalog("r0:1", namespace, ["s1:1"])
+        also = self._catalog("r1:1", namespace, ["s1:1"])
+        stale = self._catalog("r2:1", namespace, ["s1:1", "ghost:1"])
+        entries = quorum_answer([("r0:1", agreed), ("r1:1", also), ("r2:1", stale)], area)
+        assert [e.address for e in entries] == ["s1:1"]
+        assert quorum_answer([], area) == []
+
+
+class TestReconciliation:
+    def test_divergent_claim_is_a_conflict(self, namespace):
+        local = Catalog("rejoiner:1")
+        local.register_server(
+            ServerEntry("idx:1", ServerRole.INDEX, namespace.area(["USA/OR", "*"]), authoritative=True)
+        )
+        remote = [
+            ServerEntry("idx:1", ServerRole.INDEX, namespace.area(["USA/WA", "*"]), authoritative=True)
+        ]
+        result = reconcile_authoritative(
+            local, remote, rejoiner="rejoiner:1", source="survivor:1",
+            same_group=lambda a, b: False, now=10.0,
+        )
+        assert len(result.conflicts) == 1
+        conflict = result.conflicts[0]
+        assert conflict["sub"] == "recon:rejoiner:1"
+        assert conflict["publisher"] == "idx:1"
+        assert conflict["authorities"] == ["rejoiner:1", "survivor:1"]
+        assert result.adopted == 1  # the union view is still adopted
+
+    def test_overlapping_origin_conflicts_unless_same_group(self, namespace):
+        def build_local():
+            local = Catalog("rejoiner:1")
+            local.register_server(
+                ServerEntry("a:1", ServerRole.INDEX, namespace.area(["USA/OR", "*"]), authoritative=True)
+            )
+            return local
+
+        remote = [
+            ServerEntry("b:1", ServerRole.INDEX, namespace.area(["USA/OR", "*"]), authoritative=True)
+        ]
+        clashing = reconcile_authoritative(
+            build_local(), remote, rejoiner="rejoiner:1", source="survivor:1",
+            same_group=lambda a, b: False, now=5.0,
+        )
+        assert [c["authorities"] for c in clashing.conflicts] == [["a:1", "b:1"]]
+        excused = reconcile_authoritative(
+            build_local(), remote, rejoiner="rejoiner:1", source="survivor:1",
+            same_group=lambda a, b: True, now=5.0,
+        )
+        assert excused.conflicts == []
+        assert excused.adopted == 1
+
+    def test_covered_entries_are_not_readopted(self, namespace):
+        local = Catalog("rejoiner:1")
+        local.register_server(
+            ServerEntry("s:1", ServerRole.BASE, namespace.area(["USA/OR", "*"]))
+        )
+        remote = [
+            ServerEntry("s:1", ServerRole.BASE, namespace.area(["USA/OR/Portland", "*"]))
+        ]
+        result = reconcile_authoritative(
+            local, remote, rejoiner="rejoiner:1", source="survivor:1",
+            same_group=lambda a, b: False, now=0.0,
+        )
+        assert result.adopted == 0 and result.conflicts == []
+
+
+class TestRegistrationFanout:
+    def test_covering_indexer_expands_to_its_replica_group(self, namespace):
+        state_area = namespace.area(["USA/OR", "*"])
+        other_area = namespace.area(["USA/WA", "*"])
+        group0 = [IndexServer(f"i{n}:1", namespace, state_area, authoritative=True) for n in range(3)]
+        group1 = [IndexServer(f"j{n}:1", namespace, other_area, authoritative=True) for n in range(3)]
+        base = BaseServer("seller:1", namespace, namespace.area(["USA/OR/Portland", "Music/CDs"]))
+        shard_map = ShardMap.build([[s.address for s in group0], [s.address for s in group1]])
+        indexers = [*group0, *group1]
+
+        chosen_off = covering_indexers(base, indexers)
+        assert [peer.address for peer in chosen_off] == ["i0:1"]
+
+        with overrides(catalog_tier=True):
+            base.join_catalog_tier(shard_map)
+            for server in indexers:
+                server.join_catalog_tier(shard_map)
+            chosen_on = covering_indexers(base, indexers)
+        assert [peer.address for peer in chosen_on] == ["i0:1", "i1:1", "i2:1"]
+        # Replica members picked up siblings and an answer cache on join.
+        assert group0[0].replica_peers == ["i1:1", "i2:1"]
+        assert group0[0].catalog.answer_cache is not None
+        assert base.replica_peers == []  # the base server is no replica
+
+
+class TestShardedScenario:
+    """Replica crash mid-query, failover, rejoin reconciliation (tentpole)."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        spec = ScaleoutSpec(
+            name="tier-test", topology="small-world", peers=60,
+            workload="garage-sale", churn="none", queries=6, seed=11,
+            catalog_shards=2, catalog_replicas=3, catalog_outages=1,
+            reliable=True, fault_loss=0.10,
+        )
+        with overrides(catalog_tier=True, reliable_delivery=True):
+            scenario = build_scaleout_scenario(spec)
+            with scenario.cluster as cluster:
+                query_ids = schedule_queries(scenario)
+                _schedule_replica_outage(scenario)
+                cluster.run_until_idle()
+                stats = cluster.catalog_tier_stats()
+                peers = cluster.peers()
+                traces = [cluster.metrics.trace(query_id) for query_id in query_ids]
+                yield scenario, peers, stats, traces
+
+    def test_outage_victims_are_preferred_members(self, outcome):
+        scenario, _, _, _ = outcome
+        group = scenario.shard_map.group(0)
+        assert scenario.replica_outages == [group.preferred_order()[0]]
+
+    def test_queries_complete_despite_the_crash(self, outcome):
+        _, _, _, traces = outcome
+        assert all(trace.recall == 1.0 for trace in traces)
+
+    def test_rejoin_reconciles_with_survivors(self, outcome):
+        _, peers, stats, _ = outcome
+        assert stats["enabled"] is True
+        assert stats["shards"] == 2
+        assert stats["reconciliations"] >= 1
+        victims = [peer for peer in peers if peer.reconciliations > 0]
+        assert victims  # the rejoined replica ran the reconciliation pass
+
+    def test_no_statement_double_counting(self, outcome):
+        """Registration replay via two replicas must not duplicate statements."""
+        _, peers, _, _ = outcome
+        for peer in peers:
+            assert len(peer.statements) == len(set(peer.statements))
+            assert len(peer.catalog.statements) == len(set(peer.catalog.statements))
+
+    def test_answer_cache_served_lookups(self, outcome):
+        _, _, stats, _ = outcome
+        cache = stats["answer_cache"]
+        assert cache["hits"] + cache["misses"] > 0
+
+
+class TestSpecSurface:
+    def test_tier_knobs_elided_at_defaults(self):
+        block = _scenario_dict(ScaleoutSpec(name="plain"))
+        assert not any(key.startswith("catalog_") for key in block)
+        block = _scenario_dict(ScaleoutSpec(name="tier", catalog_shards=2, catalog_replicas=2))
+        assert block["catalog_shards"] == 2 and block["catalog_replicas"] == 2
+
+    def test_validation_rejects_bad_combinations(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            ScaleoutSpec(catalog_shards=2).validate()
+        with pytest.raises(SimulationError):
+            ScaleoutSpec(catalog_shards=2, catalog_replicas=2, routing="gnutella").validate()
+        with pytest.raises(SimulationError):
+            ScaleoutSpec(catalog_outages=1).validate()
+        with pytest.raises(SimulationError):
+            ScaleoutSpec(catalog_shards=2, catalog_replicas=2, catalog_outages=2).validate()
+        ScaleoutSpec(catalog_shards=2, catalog_replicas=2, catalog_outages=1).validate()
