@@ -142,6 +142,13 @@ class ScaleoutSpec:
     catalog_shards: int = 0
     catalog_replicas: int = 0
     catalog_outages: int = 0
+    # Multicore knob (flags.multiprocess + repro.multicore).  With
+    # ``workers > 0`` the run executes as that many worker processes, each
+    # hosting a contiguous shard of the data peers; cross-shard frames
+    # relay over localhost TCP with HLC stamps and the report grows a
+    # ``multicore`` block.  The zero default is elided from the report —
+    # flag-off runs stay byte-identical to pre-multicore builds.
+    workers: int = 0
 
     def fault_plan(self) -> FaultPlan:
         """The seeded link-fault plan this spec describes.
@@ -218,6 +225,21 @@ class ScaleoutSpec:
             if self.catalog_outages >= self.catalog_replicas:
                 raise SimulationError(
                     "catalog_outages must leave at least one surviving replica per group"
+                )
+        if self.workers < 0:
+            raise SimulationError("workers must be non-negative (0 = single-process)")
+        if self.workers > 0:
+            if self.routing != "mqp":
+                raise SimulationError(
+                    "multicore execution shards the MQP stack; baselines run single-process"
+                )
+            if self.subscribers > 0:
+                raise SimulationError(
+                    "multicore v1 does not shard continuous-query subscribers"
+                )
+            if self.catalog_shards > 0:
+                raise SimulationError(
+                    "multicore v1 does not shard the replicated catalog tier"
                 )
 
 
@@ -545,7 +567,10 @@ def _cell_for_item(
 
 
 def build_scaleout_scenario(
-    spec: ScaleoutSpec, transport: "Transport | str | None" = None
+    spec: ScaleoutSpec,
+    transport: "Transport | str | None" = None,
+    churn_only: "Callable[[list[str]], Callable[[str], bool]] | None" = None,
+    stable_latency: bool = False,
 ) -> ScaleoutScenario:
     """Stand up the full scenario: population, overlay, strategy, churn.
 
@@ -553,6 +578,17 @@ def build_scaleout_scenario(
     instance) — it is a *run* parameter, deliberately not part of the spec:
     the same spec must produce a byte-identical report on every backend, so
     the report's scenario block cannot mention the transport.
+
+    ``churn_only`` is the multicore seam: a factory that, given the churned
+    address list (population order), returns a predicate for which drawn
+    churn events this process actually schedules.  The plan itself is
+    always computed over every address, so each worker reports the same
+    churn summary while executing only its own shard's departures.
+
+    ``stable_latency`` is the other multicore seam: it puts the latency
+    model in hash-keyed mode so every worker assigns each link the same
+    jitter regardless of first-use order.  Single-process runs keep the
+    draw-order default, preserving byte identity with existing reports.
     """
     spec.validate()
     namespace, data_peers, queries = _POPULATIONS[spec.workload](spec)
@@ -566,7 +602,7 @@ def build_scaleout_scenario(
     cluster = Cluster(
         transport if transport is not None else "sim",
         namespace=namespace,
-        latency=LatencyModel(seed=spec.seed),
+        latency=LatencyModel(seed=spec.seed, stable=stable_latency),
         notify_unreachable=(spec.routing == "mqp"),
         topology=topology,
         faults=fault_plan if fault_plan.active else None,
@@ -602,6 +638,7 @@ def build_scaleout_scenario(
             window_ms=spec.churn_window_ms,
             seed=spec.seed + 2,
             regions=_regions_of(scenario) if profile.correlated else None,
+            only=churn_only(churned) if churn_only is not None else None,
         )
     return scenario
 
@@ -824,6 +861,15 @@ def run_scaleout(
     coordination authority, so the ``aio`` backend's real sockets change
     wall-clock cost but not the report).
     """
+    if spec.workers > 0:
+        # Multicore dispatch: the launcher spawns worker processes, each of
+        # which re-enters this module with workers=0 semantics over its own
+        # shard.  Imported here (not at module top) to avoid the cycle —
+        # the launcher itself imports this module for the spec and helpers.
+        from ..multicore.launcher import run_multicore
+
+        with overrides(multiprocess=True):
+            return run_multicore(spec, transport=transport)
     # spec.reliable turns the delivery protocol on for exactly this run:
     # the flag is process-global, so scoping it here keeps grid cells with
     # different reliability settings comparable within one process.
@@ -914,11 +960,18 @@ _CATALOG_TIER_DEFAULTS = {
 """Catalog-tier spec fields elided at their flag-off defaults — the same
 byte-identity convention as :data:`_ADVERSARY_DEFAULTS`."""
 
+_MULTICORE_DEFAULTS = {
+    "workers": 0,
+}
+"""Multicore spec fields elided at their flag-off defaults — the same
+byte-identity convention as :data:`_ADVERSARY_DEFAULTS`."""
+
 _ELIDED_DEFAULTS = {
     **_ADVERSARY_DEFAULTS,
     **_RESILIENCE_DEFAULTS,
     **_SUBSCRIPTION_DEFAULTS,
     **_CATALOG_TIER_DEFAULTS,
+    **_MULTICORE_DEFAULTS,
 }
 
 

@@ -1,0 +1,118 @@
+"""A reduction barrier: N parties enter with a payload, all leave with one decision.
+
+This is the coordination primitive that replaces the single authoritative
+simulator: at every window boundary each worker enters the barrier with its
+local state (relay counts, next event time), the last entrant runs the
+reducer over all payloads, and every party leaves with the reducer's
+decision — run another window, drain in-flight relays, or stop.
+
+The service is deliberately transport-agnostic: the launcher fronts it with
+one thread per worker control connection, and the unit tests drive it with
+plain threads.  Crash handling is first-class: :meth:`break_barrier` (called
+when a worker's connection dies) wakes every parked party with
+:class:`BarrierBroken` instead of leaving them blocked forever — the
+regression tests park threads on the barrier and kill a participant.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from .errors import MulticoreError
+
+__all__ = ["BarrierBroken", "BarrierService"]
+
+
+class BarrierBroken(MulticoreError):
+    """The barrier was torn down while parties were parked at it."""
+
+
+class BarrierService:
+    """A cyclic rendezvous of ``parties`` participants with a reduction.
+
+    ``reducer`` receives ``{party: payload}`` for one complete round and
+    returns the decision every participant's :meth:`enter` call reports.
+    Rounds are numbered; a late or duplicate entry for the same round is a
+    protocol error (it means two threads claim the same worker id).
+    """
+
+    def __init__(
+        self,
+        parties: int,
+        reducer: Callable[[dict[int, Any]], Any],
+        timeout_s: float | None = 120.0,
+    ) -> None:
+        if parties < 1:
+            raise MulticoreError("a barrier needs at least one party")
+        self.parties = parties
+        self.reducer = reducer
+        self.timeout_s = timeout_s
+        self._cond = threading.Condition()
+        self._entered: dict[int, Any] = {}
+        self._round = 0
+        self._decision: Any = None
+        self._decision_round = -1
+        self._broken: str | None = None
+        self.rounds_completed = 0
+
+    def enter(self, party: int, payload: Any) -> Any:
+        """Park until the round completes; return the reducer's decision.
+
+        Raises :class:`BarrierBroken` if the barrier is (or becomes) broken
+        while parked, and :class:`MulticoreError` on a duplicate entry or
+        when ``timeout_s`` expires — a worker that never shows up must not
+        hang its peers forever.
+        """
+        with self._cond:
+            self._check_broken()
+            if party in self._entered:
+                raise MulticoreError(
+                    f"party {party} entered barrier round {self._round} twice"
+                )
+            self._entered[party] = payload
+            my_round = self._round
+            if len(self._entered) == self.parties:
+                # Last one in runs the reduction and releases the round.
+                try:
+                    self._decision = self.reducer(dict(self._entered))
+                except Exception as error:
+                    self._broken = f"barrier reducer failed: {error}"
+                    self._cond.notify_all()
+                    raise BarrierBroken(self._broken) from error
+                self._decision_round = my_round
+                self._round += 1
+                self._entered.clear()
+                self.rounds_completed += 1
+                self._cond.notify_all()
+                return self._decision
+            released = self._cond.wait_for(
+                lambda: self._broken is not None or self._decision_round >= my_round,
+                timeout=self.timeout_s,
+            )
+            self._check_broken()
+            if not released:
+                self._broken = (
+                    f"barrier round {my_round} timed out after {self.timeout_s}s "
+                    f"({self.parties - len(self._entered)} parties missing)"
+                )
+                self._cond.notify_all()
+                raise BarrierBroken(self._broken)
+            return self._decision
+
+    def break_barrier(self, reason: str) -> None:
+        """Tear the barrier down: every parked (and future) entry raises."""
+        with self._cond:
+            if self._broken is None:
+                self._broken = reason
+            self._cond.notify_all()
+
+    @property
+    def broken(self) -> str | None:
+        """The break reason, if the barrier has been torn down."""
+        with self._cond:
+            return self._broken
+
+    def _check_broken(self) -> None:
+        if self._broken is not None:
+            raise BarrierBroken(self._broken)

@@ -1,0 +1,88 @@
+"""Hybrid logical clocks over simulated time.
+
+A multicore run has no single authoritative :class:`~repro.network.simulator.Simulator`
+— each worker advances its own copy through coordinated windows.  What
+keeps cross-worker events *orderable* is a hybrid logical clock (Kulkarni
+et al.): every frame carries a stamp whose physical component is the
+sender's simulated time and whose logical counter breaks ties among
+same-time events.  Stamps are totally ordered, never run behind the local
+simulated clock, and respect happened-before across workers: if a frame's
+send happened before its receipt (it did — the relay carried it), the
+receipt's stamp is strictly greater.
+
+The *physical* component is simulated milliseconds, not wall time: the
+coordination protocol already bounds simulated-time skew between workers
+(see :mod:`repro.multicore.launcher`), so simulated time is the meaningful
+causal axis — wall-clock time on a loaded box is exactly the thing the
+deterministic harness must not observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HLCStamp", "HybridLogicalClock"]
+
+
+@dataclass(frozen=True, order=True)
+class HLCStamp:
+    """One hybrid-logical-clock reading: ``(physical, logical, worker)``.
+
+    Ordering is lexicographic; the worker id makes stamps from different
+    workers never compare equal, so the order is total.
+    """
+
+    physical: float
+    logical: int
+    worker: int = 0
+
+
+class HybridLogicalClock:
+    """Per-worker HLC state: advanced locally, merged on receive."""
+
+    __slots__ = ("worker", "_physical", "_logical")
+
+    def __init__(self, worker: int = 0) -> None:
+        self.worker = worker
+        self._physical = 0.0
+        self._logical = 0
+
+    @property
+    def stamp(self) -> HLCStamp:
+        """The current reading, without advancing the clock."""
+        return HLCStamp(self._physical, self._logical, self.worker)
+
+    def tick(self, now: float) -> HLCStamp:
+        """A local event at simulated time ``now``; returns its stamp.
+
+        Monotone even if ``now`` stalls or regresses (a driver replaying a
+        window): the physical component never decreases, and the logical
+        counter breaks the tie whenever physical stands still.
+        """
+        if now > self._physical:
+            self._physical = now
+            self._logical = 0
+        else:
+            self._logical += 1
+        return HLCStamp(self._physical, self._logical, self.worker)
+
+    def observe(self, remote: HLCStamp, now: float) -> HLCStamp:
+        """Merge a received stamp with the local clock at time ``now``.
+
+        The classic HLC receive rule: take the max physical of (local,
+        remote, now); the logical counter continues from whichever side
+        supplied that max, so the returned stamp is strictly greater than
+        both the remote stamp and every stamp issued here before it.
+        """
+        physical = max(self._physical, remote.physical, now)
+        if physical == self._physical and physical == remote.physical:
+            logical = max(self._logical, remote.logical) + 1
+        elif physical == self._physical:
+            logical = self._logical + 1
+        elif physical == remote.physical:
+            logical = remote.logical + 1
+        else:
+            logical = 0
+        self._physical = physical
+        self._logical = logical
+        return HLCStamp(physical, logical, self.worker)

@@ -1,0 +1,24 @@
+"""Typed failures of the multicore runtime."""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+__all__ = ["MulticoreError", "WorkerCrashed"]
+
+
+class MulticoreError(SimulationError):
+    """The multicore launcher or coordination protocol failed."""
+
+
+class WorkerCrashed(MulticoreError):
+    """A worker process died (or broke protocol) mid-run.
+
+    Raised by the launcher after every surviving worker has been reaped —
+    callers never inherit orphaned children alongside the exception.
+    """
+
+    def __init__(self, worker: int, reason: str) -> None:
+        super().__init__(f"worker {worker} crashed: {reason}")
+        self.worker = worker
+        self.reason = reason

@@ -1,0 +1,193 @@
+"""Cross-shard frame relay over localhost TCP.
+
+Each worker runs one :class:`RelayHub`: a listening socket other workers
+connect to, plus one outbound connection per peer worker.  When the local
+network routes a message whose recipient lives on another shard, the hub
+encodes it as a wire-v2 frame (HLC stamp included) and writes it to that
+worker's hub; received frames are parked in a thread-safe inbox that the
+owning worker drains at window barriers.
+
+The hub is also where the shared socket plumbing lives — ``read_exact`` /
+``read_frame`` / ``send_frame`` are reused by the launcher's control
+channel, so the control protocol and the relay path exercise the same
+codec.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..network.message import Message
+from ..network.transport.base import TransportError
+from ..network.transport.wire import HEADER, FrameEncoder, decode_frame
+
+if TYPE_CHECKING:
+    from .clock import HLCStamp
+
+__all__ = ["RelayHub", "read_exact", "read_frame", "send_frame"]
+
+
+def read_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise ``EOFError`` on a closed peer."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise EOFError(f"connection closed with {remaining} bytes outstanding")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return chunks[0] if len(chunks) == 1 else b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> tuple[Message, "HLCStamp | None"]:
+    """Read one length-prefixed wire-v2 frame and decode it."""
+    (length,) = HEADER.unpack(read_exact(sock, HEADER.size))
+    return decode_frame(read_exact(sock, length))
+
+
+def send_frame(
+    sock: socket.socket,
+    message: Message,
+    stamp: "HLCStamp | None" = None,
+    encoder: FrameEncoder | None = None,
+) -> int:
+    """Encode and write one frame; returns the bytes sent on the socket.
+
+    The frame is sent straight from the encoder's reused buffer — the send
+    is synchronous (the hub serializes sends per link), so the view never
+    outlives its buffer.
+    """
+    frame = (encoder or FrameEncoder()).encode_view(message, stamp)
+    try:
+        sock.sendall(frame)
+        return len(frame)
+    finally:
+        # Always release: a lingering export would make the encoder's next
+        # buffer growth raise BufferError instead of resizing.
+        frame.release()
+
+
+class RelayHub:
+    """One worker's relay endpoint: inbound server + outbound links."""
+
+    def __init__(self, worker: int) -> None:
+        self.worker = worker
+        self._server: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._reader_threads: list[threading.Thread] = []
+        self._inbound: list[socket.socket] = []
+        self._outbound: dict[int, socket.socket] = {}
+        self._encoder = FrameEncoder()
+        self._send_lock = threading.Lock()
+        self._inbox_lock = threading.Lock()
+        self._inbox: deque[tuple[Message, "HLCStamp | None"]] = deque()
+        self._closing = False
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> int:
+        """Bind the inbound server on an ephemeral port and return it."""
+        server = socket.create_server(("127.0.0.1", 0))
+        self._server = server
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"relay-accept-{self.worker}", daemon=True
+        )
+        self._accept_thread.start()
+        return server.getsockname()[1]
+
+    def connect(self, ports: dict[int, int]) -> None:
+        """Open one outbound link to every *other* worker's relay port."""
+        for worker, port in sorted(ports.items()):
+            if worker == self.worker:
+                continue
+            self._outbound[worker] = socket.create_connection(("127.0.0.1", port))
+
+    def close(self) -> None:
+        self._closing = True
+        for sock in self._outbound.values():
+            _quiet_close(sock)
+        self._outbound.clear()
+        if self._server is not None:
+            _quiet_close(self._server)
+            self._server = None
+        for sock in self._inbound:
+            _quiet_close(sock)
+        for thread in self._reader_threads:
+            thread.join(timeout=2.0)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+
+    # -- data path -----------------------------------------------------
+
+    def send(self, worker: int, message: Message, stamp: "HLCStamp | None") -> None:
+        """Relay ``message`` to the worker that owns its recipient."""
+        link = self._outbound.get(worker)
+        if link is None:
+            raise TransportError(
+                f"worker {self.worker} has no relay link to worker {worker}"
+            )
+        with self._send_lock:
+            sent = send_frame(link, message, stamp, self._encoder)
+            self.frames_sent += 1
+            self.bytes_sent += sent
+
+    def drain(self) -> list[tuple[Message, "HLCStamp | None"]]:
+        """Take every frame received so far, in arrival order."""
+        with self._inbox_lock:
+            batch = list(self._inbox)
+            self._inbox.clear()
+        return batch
+
+    @property
+    def pending(self) -> int:
+        with self._inbox_lock:
+            return len(self._inbox)
+
+    # -- inbound plumbing ----------------------------------------------
+
+    def _accept_loop(self) -> None:
+        server = self._server
+        if server is None:
+            return
+        while True:
+            try:
+                conn, _ = server.accept()
+            except OSError:
+                return  # closed
+            self._inbound.append(conn)
+            reader = threading.Thread(
+                target=self._reader_loop,
+                args=(conn,),
+                name=f"relay-reader-{self.worker}",
+                daemon=True,
+            )
+            self._reader_threads.append(reader)
+            reader.start()
+
+    def _reader_loop(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                (length,) = HEADER.unpack(read_exact(conn, HEADER.size))
+                body = read_exact(conn, length)
+                decoded = decode_frame(body)
+                with self._inbox_lock:
+                    self._inbox.append(decoded)
+                    self.frames_received += 1
+                    self.bytes_received += HEADER.size + length
+        except (EOFError, OSError):
+            return  # peer worker closed its end (shutdown or crash)
+
+
+def _quiet_close(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -1,0 +1,42 @@
+"""Deterministic peer-to-worker assignment.
+
+Every worker computes the same assignment from the same spec — the
+``shard-map`` handshake only has to exchange relay ports, never ownership.
+Data peers are split into contiguous shards in population order (the
+population generators are seeded, so the order is identical in every
+process), and the strategy's infrastructure — the client, the meta-index,
+the index servers — lives on worker 0, which also issues the query
+schedule.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+__all__ = ["shard_assignment", "owner_of"]
+
+
+def shard_assignment(addresses: list[str], workers: int) -> dict[str, int]:
+    """Map each data-peer address to its owning worker (contiguous shards).
+
+    The split follows the usual balanced-partition rule: the first
+    ``len(addresses) % workers`` shards get one extra peer, so shard sizes
+    never differ by more than one.
+    """
+    if workers < 1:
+        raise SimulationError("shard_assignment needs at least one worker")
+    count = len(addresses)
+    base, extra = divmod(count, workers)
+    assignment: dict[str, int] = {}
+    position = 0
+    for worker in range(workers):
+        size = base + (1 if worker < extra else 0)
+        for address in addresses[position : position + size]:
+            assignment[address] = worker
+        position += size
+    return assignment
+
+
+def owner_of(assignment: dict[str, int], address: str) -> int:
+    """The worker owning ``address``; unassigned (infrastructure) is worker 0."""
+    return assignment.get(address, 0)

@@ -83,6 +83,10 @@ class Simulator:
         self._sequence = itertools.count()
         self._processed = 0
         self._cancelled_pending = 0
+        # Multicore seam: an optional hybrid logical clock that must track
+        # every advance of simulated time.  None on single-process runs, so
+        # the hot loop pays one attribute load and a falsy branch.
+        self.clock = None
 
     # -- clock ------------------------------------------------------------- #
 
@@ -155,6 +159,8 @@ class Simulator:
         """
         if time > self._now:
             self._now = time
+            if self.clock is not None:
+                self.clock.tick(self._now)
 
     def step(self) -> bool:
         """Run the next pending event; return False when the queue is empty."""
@@ -165,6 +171,8 @@ class Simulator:
                     self._cancelled_pending -= 1
                 continue
             self._now = event.time
+            if self.clock is not None:
+                self.clock.tick(self._now)
             event.callback()
             self._processed += 1
             return True

@@ -37,7 +37,7 @@ from typing import TYPE_CHECKING, Callable
 
 from ...errors import SimulationError
 from .base import Transport, TransportError
-from .wire import HEADER, MAX_FRAME_BYTES, decode_body, encode_frame
+from .wire import HEADER, MAX_FRAME_BYTES, FrameEncoder, decode_frame
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from ..message import Message
@@ -166,6 +166,9 @@ class AsyncioTransport(Transport):
         self._inboxes: dict[str, _Inbox] = {}
         self._links: dict[tuple[str, str], _Link] = {}
         self._use_tick = itertools.count(1)
+        # One reusable encode buffer per transport: all sends happen on the
+        # drive thread, so the encoder's scratch bytearray is never shared.
+        self._encoder = FrameEncoder()
         self._closed = False
         self._last_wire_error: TransportError | None = None
         self._counters = {
@@ -194,7 +197,8 @@ class AsyncioTransport(Transport):
         if message.kind in ("result-chunk", "result-end", "delta-chunk"):
             self._counters["chunk_frames"] += 1
         link = self._link_for(message.sender, message.recipient)
-        link.queue.append(encode_frame(message))
+        stamp = None if self._clock is None else self._clock.tick(self.simulator.now)
+        link.queue.append(self._encoder.encode(message, stamp))
         self._kick(link)
 
     def run(
@@ -364,7 +368,10 @@ class AsyncioTransport(Transport):
                         f"oversized frame ({length} bytes) on {address!r}'s socket"
                     )
                 body = await reader.readexactly(length)
-                inbox.put(decode_body(body))
+                message, stamp = decode_frame(body)
+                if self._clock is not None and stamp is not None:
+                    self._clock.observe(stamp, self.simulator.now)
+                inbox.put(message)
                 self._counters["frames_received"] += 1
                 await inbox.wait_for_room()
         except (ConnectionResetError, asyncio.CancelledError):

@@ -1,34 +1,62 @@
-"""Length-prefixed wire framing for real-socket transports.
+"""Length-prefixed wire framing for real-socket transports (version 2).
 
-A frame is a 4-byte big-endian length followed by a pickled header tuple
-carrying the message envelope plus the payload in its own encoding:
+A frame is a 4-byte big-endian length followed by a binary body::
 
-* ``str`` payloads — the common case: a mutant query plan travels as its
-  serialized XML document — ship as raw UTF-8 bytes, so what crosses the
-  socket for an MQP is exactly the paper's wire form;
-* result envelopes (``result`` / ``partial-result`` / ``result-chunk`` —
-  dicts carrying a ``document`` string) ship as pickled metadata plus the
-  document as raw UTF-8, so result traffic — including each individually
-  framed chunk of a streamed result — also crosses the socket in the
-  paper's XML wire form;
-* everything else (registration payloads, control envelopes) ships pickled.
+    body    := version(u8=2) | envelope | stamp | payload
+    envelope:= sender | recipient | kind        (u16 length + UTF-8 each)
+               message_id(u64) | size_bytes(u64) | sent_at(f64)
+               hop(u32) | attempt(u32) | transfer (u16 length + UTF-8,
+               0xFFFF = none)
+    stamp   := absent(u8=0) | present(u8=1) physical(f64) logical(u32)
+               worker(u32)   — a hybrid-logical-clock stamp
+               (:mod:`repro.multicore.clock`); in-process backends send 0.
+    payload := TEXT(u8=0)     raw UTF-8 to end of frame
+             | VALUE(u8=1)    one tagged value (:mod:`.codec`)
+             | DOCUMENT(u8=2) tagged metadata value, then the document as
+                              raw UTF-8 to end of frame
 
-Pickle is acceptable here because both frame ends live in the same trusted
-process on localhost — the transport exists to exercise real serialization
-cost and socket backpressure, not to speak to untrusted peers.  A
-multi-host backend would swap this module for a hardened codec; the
-framing (length prefix + envelope + payload) is the part that carries over.
+``str`` payloads — the common case: a mutant query plan travels as its
+serialized XML document — ship as raw UTF-8, so what crosses the socket
+for an MQP is exactly the paper's wire form.  Result envelopes (dicts
+carrying a ``document`` string) ship their metadata as one tagged value
+plus the document as raw UTF-8; the frame length bounds both, so neither
+needs its own length prefix.  Everything else is a tagged codec value.
+
+Version negotiation is rejection: the decoder accepts exactly version 2
+and raises :class:`TransportError` otherwise.  A v1 (pickled) body began
+with pickle's ``0x80`` opcode, so a stale peer is told apart from stream
+corruption by the error message, not by guessing.  There is no pickle
+anywhere on this path — see :mod:`.codec` for why that is a security
+property, not just a performance one.
+
+Encoding reuses one persistent buffer per :class:`FrameEncoder` (the
+module-level :func:`encode_frame` owns one for the transport thread):
+steady-state framing does zero per-frame header allocations.
 """
 
 from __future__ import annotations
 
-import pickle
 import struct
+from typing import TYPE_CHECKING
 
 from ...errors import SimulationError
+from .base import TransportError
+from .codec import CodecWriter, _guarded_read, _Reader, write_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from ...multicore.clock import HLCStamp
+
 from ..message import Message
 
-__all__ = ["HEADER", "MAX_FRAME_BYTES", "encode_frame", "decode_body"]
+__all__ = [
+    "HEADER",
+    "MAX_FRAME_BYTES",
+    "WIRE_VERSION",
+    "FrameEncoder",
+    "encode_frame",
+    "decode_body",
+    "decode_frame",
+]
 
 HEADER = struct.Struct("!I")
 """The length prefix: one unsigned 32-bit big-endian integer."""
@@ -36,88 +64,379 @@ HEADER = struct.Struct("!I")
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 """Sanity cap on a single frame; a larger one indicates stream corruption."""
 
+WIRE_VERSION = 2
+"""The one body version this build speaks.  Anything else is rejected."""
+
 _TEXT = 0
-_PICKLE = 1
+_VALUE = 1
 _DOCUMENT = 2
+
+_U16 = struct.Struct("!H")
+_NO_TRANSFER = 0xFFFF
+
+# The fixed-width envelope tail and the HLC stamp, packed in one struct call
+# each — the frame path is hot enough that per-field pack/unpack calls were
+# the dominant cost, not the byte shuffling itself.
+_FIXED = struct.Struct("!qqdII")
+_STAMP = struct.Struct("!BdII")
+_STAMP_BODY = struct.Struct("!dII")
+_ENVELOPE = "!IBH%dsH%dsH%dsqqdII"
+"""Length placeholder, version, the three length-prefixed texts, then the
+fixed tail — one ``pack_into`` per frame (``%d`` slots are the text lengths;
+the struct module caches compiled formats, and address/kind lengths are
+near-constant within a scenario)."""
+
+# Fully specialized whole-frame formats for the dominant frame shape — a raw
+# UTF-8 text payload with no transfer id — without and with an HLC stamp.
+_TEXT_FRAME = _ENVELOPE + "HBB"
+_TEXT_FRAME_STAMPED = _ENVELOPE + "HBdIIB"
 
 
 def _is_document_envelope(payload: object) -> bool:
     return isinstance(payload, dict) and isinstance(payload.get("document"), str)
 
 
-def encode_frame(message: Message) -> bytes:
-    """Render ``message`` as one length-prefixed frame."""
-    if isinstance(message.payload, str):
-        encoding, payload = _TEXT, message.payload.encode("utf-8")
-    elif _is_document_envelope(message.payload):
-        meta = {key: value for key, value in message.payload.items() if key != "document"}
-        header = pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
-        encoding = _DOCUMENT
-        payload = HEADER.pack(len(header)) + header + message.payload["document"].encode("utf-8")
-    else:
-        encoding, payload = _PICKLE, pickle.dumps(
-            message.payload, protocol=pickle.HIGHEST_PROTOCOL
+class FrameEncoder:
+    """Reusable frame encoder: one growing buffer, zero per-frame headers.
+
+    Not thread-safe — the asyncio transport encodes from its drive thread
+    and owns one; the multicore relay hub threads each own their own.
+    """
+
+    __slots__ = ("_writer",)
+
+    def __init__(self) -> None:
+        self._writer = CodecWriter()
+
+    def encode(self, message: Message, stamp: "HLCStamp | None" = None) -> bytes:
+        """Render ``message`` (optionally HLC-stamped) as one framed blob."""
+        end = self._encode(message, stamp)
+        return bytes(memoryview(self._writer.buf)[:end])
+
+    def encode_view(self, message: Message, stamp: "HLCStamp | None" = None) -> memoryview:
+        """Render into the reused buffer and return a view — zero copy out.
+
+        The view aliases the encoder's buffer and is only valid until the
+        next ``encode``/``encode_view`` call, so it suits a synchronous
+        sender (``sendall`` under a lock) but never a queued writer.
+        """
+        # Encode strictly before taking the view: a live export blocks the
+        # bytearray from growing mid-encode (BufferError).
+        end = self._encode(message, stamp)
+        return memoryview(self._writer.buf)[:end]
+
+    def _encode(self, message: Message, stamp: "HLCStamp | None") -> int:
+        writer = self._writer
+        writer.reset()
+        sender = message.sender.encode("utf-8")
+        recipient = message.recipient.encode("utf-8")
+        kind = message.kind.encode("utf-8")
+        sender_length = len(sender)
+        recipient_length = len(recipient)
+        kind_length = len(kind)
+        if (
+            sender_length >= _NO_TRANSFER
+            or recipient_length >= _NO_TRANSFER
+            or kind_length >= _NO_TRANSFER
+        ):
+            longest = max(sender_length, recipient_length, kind_length)
+            raise SimulationError(f"envelope field too long for the wire ({longest} bytes)")
+        # Everything up to the payload tag is packed in one struct call — the
+        # frame path is hot enough that per-field pack calls were the dominant
+        # cost.  The ``%d`` slots are text lengths, so the compiled formats
+        # stay in the struct module's cache (address/kind lengths are
+        # near-constant within a scenario; the payload, whose length is not,
+        # is copied separately below).
+        transfer = message.transfer
+        payload = message.payload
+        if type(payload) is str and transfer is None:
+            # The overwhelmingly common frame — a document as raw UTF-8, no
+            # transfer id — gets a fully specialized single pack with the
+            # length prefix computed up front, no backfill.
+            raw = payload.encode("utf-8")
+            payload_length = len(raw)
+            if stamp is None:
+                envelope_format = _TEXT_FRAME % (
+                    sender_length, recipient_length, kind_length,
+                )
+                envelope_size = 47 + sender_length + recipient_length + kind_length
+                body_length = envelope_size - 4 + payload_length
+                if body_length > MAX_FRAME_BYTES:
+                    raise SimulationError(
+                        f"frame for message #{message.message_id} exceeds "
+                        f"{MAX_FRAME_BYTES} bytes"
+                    )
+                writer.reserve(envelope_size + payload_length)
+                buf = writer.buf
+                struct.pack_into(
+                    envelope_format, buf, 0,
+                    body_length, WIRE_VERSION,
+                    sender_length, sender, recipient_length, recipient,
+                    kind_length, kind,
+                    message.message_id, message.size_bytes, message.sent_at,
+                    message.hop, message.attempt,
+                    _NO_TRANSFER, 0, _TEXT,
+                )
+            else:
+                envelope_format = _TEXT_FRAME_STAMPED % (
+                    sender_length, recipient_length, kind_length,
+                )
+                envelope_size = 63 + sender_length + recipient_length + kind_length
+                body_length = envelope_size - 4 + payload_length
+                if body_length > MAX_FRAME_BYTES:
+                    raise SimulationError(
+                        f"frame for message #{message.message_id} exceeds "
+                        f"{MAX_FRAME_BYTES} bytes"
+                    )
+                writer.reserve(envelope_size + payload_length)
+                buf = writer.buf
+                struct.pack_into(
+                    envelope_format, buf, 0,
+                    body_length, WIRE_VERSION,
+                    sender_length, sender, recipient_length, recipient,
+                    kind_length, kind,
+                    message.message_id, message.size_bytes, message.sent_at,
+                    message.hop, message.attempt,
+                    _NO_TRANSFER, 1, stamp.physical, stamp.logical, stamp.worker,
+                    _TEXT,
+                )
+            buf[envelope_size : envelope_size + payload_length] = raw
+            return envelope_size + payload_length
+        if transfer is None:
+            transfer_format = "H"
+            transfer_size = 2
+            transfer_args: tuple = (_NO_TRANSFER,)
+        else:
+            transfer_raw = transfer.encode("utf-8")
+            transfer_length = len(transfer_raw)
+            if transfer_length >= _NO_TRANSFER:
+                raise SimulationError(
+                    f"envelope field too long for the wire ({transfer_length} bytes)"
+                )
+            transfer_format = "H%ds" % transfer_length
+            transfer_size = 2 + transfer_length
+            transfer_args = (transfer_length, transfer_raw)
+        if stamp is None:
+            stamp_format = "B"
+            stamp_size = 1
+            stamp_args: tuple = (0,)
+        else:
+            stamp_format = "BdII"
+            stamp_size = 17
+            stamp_args = (1, stamp.physical, stamp.logical, stamp.worker)
+        envelope_format = (
+            _ENVELOPE % (sender_length, recipient_length, kind_length)
+            + transfer_format + stamp_format + "B"
         )
-    body = pickle.dumps(
-        (
-            message.sender,
-            message.recipient,
-            message.kind,
-            message.message_id,
-            message.size_bytes,
-            message.sent_at,
-            message.hop,
-            message.transfer,
-            message.attempt,
-            encoding,
-            payload,
-        ),
-        protocol=pickle.HIGHEST_PROTOCOL,
-    )
-    if len(body) > MAX_FRAME_BYTES:
-        raise SimulationError(
-            f"frame for message #{message.message_id} exceeds {MAX_FRAME_BYTES} bytes"
+        # prefix 4 + version 1 + three u16 length prefixes (6) + fixed tail 32
+        # + payload tag 1 = 44 bytes of fixed framing.
+        envelope_size = (
+            44 + sender_length + recipient_length + kind_length
+            + transfer_size + stamp_size
         )
-    return HEADER.pack(len(body)) + body
+        if type(payload) is str:
+            # The common case — a document as raw UTF-8 — knows its length up
+            # front, so the length prefix is packed directly, no backfill.
+            raw = payload.encode("utf-8")
+            payload_length = len(raw)
+            body_length = envelope_size - 4 + payload_length
+            if body_length > MAX_FRAME_BYTES:
+                raise SimulationError(
+                    f"frame for message #{message.message_id} exceeds "
+                    f"{MAX_FRAME_BYTES} bytes"
+                )
+            writer.reserve(envelope_size + payload_length)
+            buf = writer.buf
+            struct.pack_into(
+                envelope_format, buf, 0,
+                body_length, WIRE_VERSION,
+                sender_length, sender, recipient_length, recipient,
+                kind_length, kind,
+                message.message_id, message.size_bytes, message.sent_at,
+                message.hop, message.attempt,
+                *transfer_args, *stamp_args, _TEXT,
+            )
+            buf[envelope_size : envelope_size + payload_length] = raw
+            return envelope_size + payload_length
+        writer.reserve(envelope_size)
+        struct.pack_into(
+            envelope_format, writer.buf, 0,
+            0,  # the length prefix, backfilled below
+            WIRE_VERSION,
+            sender_length, sender, recipient_length, recipient,
+            kind_length, kind,
+            message.message_id, message.size_bytes, message.sent_at,
+            message.hop, message.attempt,
+            *transfer_args, *stamp_args,
+            _DOCUMENT if _is_document_envelope(payload) else _VALUE,
+        )
+        if _is_document_envelope(payload):
+            meta = {key: value for key, value in payload.items() if key != "document"}
+            write_value(writer, meta)
+            writer.raw(payload["document"].encode("utf-8"))
+        else:
+            write_value(writer, payload)
+        body_length = writer.pos - 4
+        if body_length > MAX_FRAME_BYTES:
+            raise SimulationError(
+                f"frame for message #{message.message_id} exceeds {MAX_FRAME_BYTES} bytes"
+            )
+        writer.u32_at(0, body_length)
+        return writer.pos
 
 
-def decode_body(body: bytes) -> Message:
-    """Rebuild the :class:`Message` from a frame body (sans length prefix).
+_DEFAULT_ENCODER = FrameEncoder()
+
+
+def encode_frame(message: Message, stamp: "HLCStamp | None" = None) -> bytes:
+    """Render ``message`` as one length-prefixed frame (shared encoder)."""
+    return _DEFAULT_ENCODER.encode(message, stamp)
+
+
+def decode_frame(body: "bytes | memoryview") -> "tuple[Message, HLCStamp | None]":
+    """Rebuild a :class:`Message` (and its HLC stamp) from one frame body.
 
     The original ``message_id`` is preserved — it is the delivery key the
     receiving transport matches logical events against — and the global
-    message counter is left untouched.
+    message counter is left untouched.  Every malformation raises
+    :class:`TransportError`.
     """
-    (
-        sender,
-        recipient,
-        kind,
-        message_id,
-        size_bytes,
-        sent_at,
-        hop,
-        transfer,
-        attempt,
-        encoding,
-        payload,
-    ) = pickle.loads(body)
-    if encoding == _TEXT:
-        value = payload.decode("utf-8")
-    elif encoding == _DOCUMENT:
-        (header_length,) = HEADER.unpack_from(payload)
-        value = pickle.loads(payload[HEADER.size : HEADER.size + header_length])
-        value["document"] = payload[HEADER.size + header_length :].decode("utf-8")
-    else:
-        value = pickle.loads(payload)
-    return Message(
-        sender=sender,
-        recipient=recipient,
-        kind=kind,
-        payload=value,
-        size_bytes=size_bytes,
-        message_id=message_id,
-        sent_at=sent_at,
-        hop=hop,
-        transfer=transfer,
-        attempt=attempt,
-    )
+    data = memoryview(body) if type(body) is bytes else body
+    total = len(data)
+    try:
+        version = data[0]
+        if version != WIRE_VERSION:
+            detail = " (a pickled v1 frame?)" if version == 0x80 else ""
+            raise TransportError(
+                f"unsupported wire version {version}{detail}; this build speaks "
+                f"version {WIRE_VERSION} only"
+            )
+        # Bounds are checked before every slice: slicing a short memoryview
+        # silently truncates instead of raising, so a clipped frame would
+        # otherwise decode into garbage rather than a TransportError.  The
+        # three text reads are unrolled — this is the per-frame hot path.
+        pos = 3
+        if pos > total:
+            raise TransportError("truncated frame envelope")
+        end = pos + ((data[1] << 8) | data[2])
+        if end > total:
+            raise TransportError("truncated frame envelope")
+        sender = str(data[pos:end], "utf-8")
+        pos = end + 2
+        if pos > total:
+            raise TransportError("truncated frame envelope")
+        end = pos + ((data[end] << 8) | data[end + 1])
+        if end > total:
+            raise TransportError("truncated frame envelope")
+        recipient = str(data[pos:end], "utf-8")
+        pos = end + 2
+        if pos > total:
+            raise TransportError("truncated frame envelope")
+        end = pos + ((data[end] << 8) | data[end + 1])
+        if end > total:
+            raise TransportError("truncated frame envelope")
+        kind = str(data[pos:end], "utf-8")
+        pos = end
+        if pos + _FIXED.size > total:
+            raise TransportError("truncated frame envelope")
+        message_id, size_bytes, sent_at, hop, attempt = _FIXED.unpack_from(data, pos)
+        pos += _FIXED.size
+        if pos + 2 > total:
+            raise TransportError("truncated frame envelope")
+        length = (data[pos] << 8) | data[pos + 1]
+        pos += 2
+        if length == _NO_TRANSFER:
+            transfer = None
+        else:
+            end = pos + length
+            if end > total:
+                raise TransportError("truncated frame envelope")
+            transfer = str(data[pos:end], "utf-8")
+            pos = end
+        flag = data[pos]
+        pos += 1
+        if flag == 0:
+            stamp = None
+        elif flag == 1:
+            if pos + _STAMP_BODY.size > total:
+                raise TransportError("truncated frame stamp")
+            stamp_class = _STAMP_CLASS
+            if stamp_class is None:
+                stamp_class = _load_stamp_class()
+            physical, logical, worker = _STAMP_BODY.unpack_from(data, pos)
+            # __new__ plus a state dict, as pickle restores frozen instances —
+            # skipping three object.__setattr__ calls per stamped frame.
+            stamp = stamp_class.__new__(stamp_class)
+            stamp.__dict__.update(physical=physical, logical=logical, worker=worker)
+            pos += _STAMP_BODY.size
+        else:
+            raise TransportError(f"malformed stamp flag {flag}")
+        payload_kind = data[pos]
+        pos += 1
+        if payload_kind == _TEXT:
+            payload: object = _decode_text(data[pos:total])
+        elif payload_kind == _VALUE:
+            reader = _Reader(data[pos:total])
+            payload = _guarded_read(reader)
+            if reader.remaining():
+                raise TransportError(
+                    f"{reader.remaining()} trailing bytes after frame payload"
+                )
+        elif payload_kind == _DOCUMENT:
+            reader = _Reader(data[pos:total])
+            meta = _guarded_read(reader)
+            if type(meta) is not dict:
+                raise TransportError("document frame metadata is not a mapping")
+            meta["document"] = _decode_text(reader.take(reader.remaining()))
+            payload = meta
+        else:
+            raise TransportError(f"unknown payload encoding {payload_kind}")
+    except TransportError:
+        raise
+    except (struct.error, ValueError, OverflowError, IndexError) as error:
+        raise TransportError(f"malformed frame body: {error}") from None
+    # Restore the message the way pickle restores any instance — __new__ plus
+    # a state dict, skipping __init__.  __post_init__'s only job (clamping
+    # size_bytes) is done inline; the counter default must not fire anyway,
+    # because the original message_id is the receiver's delivery key.
+    message = Message.__new__(Message)
+    message.__dict__ = {
+        "sender": sender,
+        "recipient": recipient,
+        "kind": kind,
+        "payload": payload,
+        "size_bytes": size_bytes if size_bytes > 0 else 1,
+        "message_id": message_id,
+        "sent_at": sent_at,
+        "hop": hop,
+        "transfer": transfer,
+        "attempt": attempt,
+    }
+    return message, stamp
+
+
+def decode_body(body: "bytes | memoryview") -> Message:
+    """Rebuild just the :class:`Message` from a frame body (sans prefix)."""
+    return decode_frame(body)[0]
+
+
+def _decode_text(raw: memoryview) -> str:
+    try:
+        return str(raw, "utf-8")
+    except UnicodeDecodeError as error:
+        raise TransportError(f"malformed UTF-8 in frame: {error}") from None
+
+
+_STAMP_CLASS = None
+"""Cached :class:`~repro.multicore.clock.HLCStamp`.  The import is deferred
+(the multicore package imports this module back through its launcher) and
+cached because import machinery per stamped frame is measurable."""
+
+
+def _load_stamp_class() -> type:
+    global _STAMP_CLASS
+    from ...multicore.clock import HLCStamp
+
+    _STAMP_CLASS = HLCStamp
+    return HLCStamp
+

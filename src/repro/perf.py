@@ -73,6 +73,14 @@ class _Flags:
       authoritative sets with surviving group members vs. the seed's flat
       single-catalog routing.  Off by default: the byte-identity gates
       compare scenario reports against the unsharded wire behaviour.
+    * ``multiprocess`` — the multicore launcher: a scenario's data peers
+      split into contiguous shards across worker processes, cross-shard
+      frames relay over localhost TCP with hybrid-logical-clock stamps, and
+      the single authoritative simulator relaxes to barrier-coordinated
+      simulated-time windows (``repro.multicore``).  Off by default: real
+      parallelism re-draws link latencies in a different first-use order,
+      so flag-on runs are gated by *sequence* identity (answers, recall,
+      schema) instead of report byte-identity.
     """
 
     __slots__ = (
@@ -87,6 +95,7 @@ class _Flags:
         "reliable_delivery",
         "continuous_queries",
         "catalog_tier",
+        "multiprocess",
     )
 
     def __init__(self) -> None:
@@ -101,6 +110,7 @@ class _Flags:
         self.reliable_delivery = False
         self.continuous_queries = False
         self.catalog_tier = False
+        self.multiprocess = False
 
 
 flags = _Flags()

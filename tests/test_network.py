@@ -96,6 +96,34 @@ class TestLatencyModel:
         assert model.transfer_time(1000) == pytest.approx(10)
         assert model.delivery_delay("a", "b", 1000) > model.propagation_delay("a", "b")
 
+    def test_stable_mode_is_draw_order_independent(self):
+        """The multicore seam: link jitter must not depend on first-use order.
+
+        Sharded workers touch links in shard-local order; with draw-order
+        jitter the same link gets different delays under different worker
+        counts, which (under churn) changes query answers.  Stable mode
+        keys jitter on (seed, link) alone.
+        """
+        links = [("a:1", "b:2"), ("c:3", "d:4"), ("e:5", "f:6")]
+        forward = LatencyModel(seed=3, stable=True)
+        backward = LatencyModel(seed=3, stable=True)
+        delays = {link: forward.propagation_delay(*link) for link in links}
+        for link in reversed(links):
+            assert backward.propagation_delay(*link) == delays[link]
+        # Default draw-order mode is order-DEPENDENT — that asymmetry is
+        # what keeps single-process reports byte-identical to history.
+        legacy_fwd = LatencyModel(seed=3)
+        legacy_bwd = LatencyModel(seed=3)
+        fwd = [legacy_fwd.propagation_delay(*link) for link in links]
+        bwd = [legacy_bwd.propagation_delay(*link) for link in reversed(links)]
+        assert fwd != list(reversed(bwd))
+        # A different seed moves the stable jitter too.
+        other = LatencyModel(seed=4, stable=True)
+        assert other.propagation_delay(*links[0]) != delays[links[0]]
+        # Stable jitter stays inside the configured half-width.
+        for value in delays.values():
+            assert abs(value - forward.base_latency_ms) <= forward.jitter_ms
+
 
 class TestNetwork:
     def test_message_delivery_and_metrics(self):
